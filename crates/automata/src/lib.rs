@@ -1,0 +1,110 @@
+//! Tree automata and automaton provenance for the `treelineage` workspace.
+//!
+//! The paper's tractability results go through the machinery of [2]: compile
+//! the query into a bottom-up tree automaton, run it over a tree encoding of
+//! the treelike instance, and extract a provenance circuit of the run. This
+//! crate implements the automaton side of that pipeline from scratch:
+//!
+//! * [`BinaryTree`] / [`UncertainTree`] — labelled full binary trees and
+//!   their uncertain variant (one Boolean event per node), the data model of
+//!   probabilistic XML without data values cited in the introduction;
+//! * [`TreeAutomaton`] — nondeterministic bottom-up tree automata with
+//!   determinization ([12]), product, complement and emptiness;
+//! * [`provenance_circuit`] — the linear-time provenance circuit of an
+//!   automaton on an uncertain tree (Proposition 3.1 of [2]), which is a
+//!   d-DNNF when the automaton is deterministic (the key step of
+//!   Theorem 6.11).
+//!
+//! The instance-side pipeline (tree encodings of bounded-treewidth relational
+//! instances and query compilation) lives in the core `treelineage` crate,
+//! which uses an equivalent dynamic programming formulation over nice tree
+//! decompositions; see DESIGN.md §2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod automaton;
+mod provenance;
+mod tree;
+
+pub use automaton::{exists_one_automaton, parity_automaton, State, TreeAutomaton};
+pub use provenance::{acceptance_probability_bruteforce, provenance_circuit};
+pub use tree::{BinaryTree, Label, NodeAnnotation, NodeId, UncertainTree};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    /// Random uncertain comb trees of random size with 0/1 leaves each
+    /// controlled by a distinct event.
+    fn arbitrary_uncertain_comb() -> impl Strategy<Value = UncertainTree> {
+        (1usize..8).prop_map(|n| {
+            let tree = BinaryTree::comb(&vec![0; n], 2);
+            let mut u = UncertainTree::certain(tree);
+            let mut event = 0;
+            for node in 0..u.tree().node_count() {
+                if u.tree().is_leaf(NodeId(node)) {
+                    u.set_event(NodeId(node), event, 1, 0);
+                    event += 1;
+                }
+            }
+            u
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn provenance_circuit_matches_acceptance(u in arbitrary_uncertain_comb(), which in 0u8..2) {
+            let automaton = if which == 0 {
+                parity_automaton(2)
+            } else {
+                exists_one_automaton(2)
+            };
+            let circuit = provenance_circuit(&automaton, &u);
+            let events = u.events();
+            for mask in 0u64..(1u64 << events.len()) {
+                let true_events: BTreeSet<usize> = events
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask >> i & 1 == 1)
+                    .map(|(_, &e)| e)
+                    .collect();
+                let concrete = u.instantiate(&|e| true_events.contains(&e));
+                prop_assert_eq!(circuit.evaluate_set(&true_events), automaton.accepts(&concrete));
+            }
+        }
+
+        #[test]
+        fn determinization_preserves_language_on_random_trees(u in arbitrary_uncertain_comb()) {
+            let nta = exists_one_automaton(2);
+            let (dta, _) = nta.determinize();
+            let events = u.events();
+            for mask in 0u64..(1u64 << events.len()) {
+                let true_events: BTreeSet<usize> = events
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask >> i & 1 == 1)
+                    .map(|(_, &e)| e)
+                    .collect();
+                let concrete = u.instantiate(&|e| true_events.contains(&e));
+                prop_assert_eq!(nta.accepts(&concrete), dta.accepts(&concrete));
+            }
+        }
+
+        #[test]
+        fn deterministic_provenance_probability_is_linear_time_consistent(u in arbitrary_uncertain_comb()) {
+            use treelineage_circuit::Dnnf;
+            use treelineage_num::Rational;
+            let automaton = parity_automaton(2);
+            let circuit = provenance_circuit(&automaton, &u);
+            let dnnf = Dnnf::from_trusted_circuit(circuit).unwrap();
+            let prob = |e: usize| Rational::from_ratio_u64(1, e as u64 + 2);
+            let expected = acceptance_probability_bruteforce(&automaton, &u, &prob);
+            prop_assert_eq!(dnnf.probability(&prob), expected);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Shared helpers for the Criterion benches (included via `mod common`).
+#![allow(dead_code)]
+
+use treelineage::prelude::*;
+
+/// The chain instance R(i), S(i, i+1), T(i+1) for i < n (pathwidth 1).
+pub fn chain_instance(n: usize) -> (Signature, Instance) {
+    let sig = Signature::builder()
+        .relation("R", 1)
+        .relation("S", 2)
+        .relation("T", 1)
+        .build();
+    let mut inst = Instance::new(sig.clone());
+    for i in 0..n as u64 {
+        inst.add_fact_by_name("R", &[i]);
+        inst.add_fact_by_name("S", &[i, i + 1]);
+        inst.add_fact_by_name("T", &[i + 1]);
+    }
+    (sig, inst)
+}

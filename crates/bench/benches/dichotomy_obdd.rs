@@ -1,0 +1,37 @@
+//! Theorem 8.1 / Lemma 8.2: OBDD width of the intricate query q_p blows up on
+//! grids but stays constant on chains (experiments D-8.1, D-8.7b, D-8.9).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use treelineage_hardness as hardness;
+
+fn bench_qp_widths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("d81_qp_obdd_width_grids");
+    group.sample_size(10);
+    for n in [2usize, 3, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| hardness::obdd_width_of_qp_on_grid(n))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("d81_qp_obdd_width_chains");
+    group.sample_size(10);
+    for len in [20usize, 40, 80] {
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, &len| {
+            b.iter(|| hardness::obdd_width_of_qp_on_chain(len))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("d89_ucq_obdd_width_bipartite");
+    group.sample_size(10);
+    for n in [2usize, 4, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| hardness::obdd_width_of_ucq_on_bipartite(n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_qp_widths);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Theorem 4.2: probability evaluation is ra-linear on bounded treewidth
+//! (experiment D-4.2a) and recovers #matchings of 3-regular planar graphs
+//! through q_p (experiment D-4.2b).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use treelineage::prelude::*;
+use treelineage_graph::generators;
+use treelineage_hardness as hardness;
+
+fn bench_probability_on_chains(c: &mut Criterion) {
+    let mut group = c.benchmark_group("d42a_probability_bounded_treewidth");
+    group.sample_size(10);
+    for n in [50usize, 100, 200] {
+        let (sig, inst) = common::chain_instance(n);
+        let q = parse_query(&sig, "R(x), S(x, y), T(y)").unwrap();
+        let valuation = ProbabilityValuation::all_one_half(&inst);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                ProbabilityEvaluator::new(&inst, &valuation)
+                    .query_probability(&q)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_matching_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("d42b_matching_counting_reduction");
+    group.sample_size(10);
+    for rungs in [3usize, 4, 5] {
+        let graph = generators::circular_ladder_graph(rungs);
+        group.bench_with_input(BenchmarkId::from_parameter(rungs), &rungs, |b, _| {
+            b.iter(|| {
+                let result = hardness::matching_reduction(&graph);
+                assert_eq!(
+                    result.matchings_from_probability.to_decimal_string(),
+                    result.matchings_direct.to_decimal_string()
+                );
+                result.matchings_direct.to_decimal_string()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_probability_on_chains, bench_matching_reduction);
+criterion_main!(benches);

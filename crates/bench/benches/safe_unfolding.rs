@@ -1,0 +1,33 @@
+//! Theorem 9.7: unfolding ranked instances for inversion-free UCQs
+//! (experiment D-9.7) — construction time and resulting tree-depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use treelineage::prelude::*;
+use treelineage_safe as safe;
+
+fn bench_unfolding(c: &mut Criterion) {
+    let sig = Signature::builder().relation("R", 1).relation("S", 2).build();
+    let q = parse_query(&sig, "R(x), S(x, y)").unwrap();
+    let mut group = c.benchmark_group("d97_unfolding");
+    group.sample_size(10);
+    for n in [20u64, 40, 80] {
+        let mut inst = Instance::new(sig.clone());
+        for a in 1..=n {
+            inst.add_fact_by_name("R", &[a]);
+            for c in 1..=4u64 {
+                inst.add_fact_by_name("S", &[a, n + c]);
+            }
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let unfolding = safe::unfold_for_query(&q, &inst).unwrap();
+                assert!(unfolding.tree_depth <= 2);
+                unfolding.instance.fact_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_unfolding);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Table 1 / Theorem 5.2, 5.7: non-probabilistic model checking and match
+//! counting on bounded-treewidth instances (experiments T1-A, T1-B).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use treelineage::prelude::*;
+use treelineage_graph::generators;
+use treelineage_instance::encodings;
+
+fn bench_model_checking(c: &mut Criterion) {
+    let sig = Signature::builder().relation("S", 2).relation("R", 2).build();
+    let q = parse_query(&sig, "S(x, y), S(y, z), x != z").unwrap();
+    let mut group = c.benchmark_group("t1a_model_checking_partial_2_trees");
+    group.sample_size(10);
+    for n in [100usize, 200, 400] {
+        let inst = encodings::random_treelike_instance(&sig, n, 2, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| treelineage::model_check(&q, &inst))
+        });
+    }
+    group.finish();
+}
+
+fn bench_match_counting(c: &mut Criterion) {
+    let sig = Signature::builder().relation("E", 2).relation("Sel", 1).build();
+    let e = sig.relation_by_name("E").unwrap();
+    let q = parse_query(&sig, "E(x, y), Sel(x), Sel(y)").unwrap();
+    let mut group = c.benchmark_group("t1b_match_counting_paths");
+    group.sample_size(10);
+    for n in [10usize, 20, 40] {
+        let inst = encodings::graph_instance(&generators::path_graph(n), &sig, e);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                MatchCounter::new(&q, &inst, vec!["Sel"])
+                    .count()
+                    .unwrap()
+                    .to_decimal_string()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_checking, bench_match_counting);
+criterion_main!(benches);

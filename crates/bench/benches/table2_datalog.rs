@@ -1,0 +1,44 @@
+//! Table 2, "positive relational algebra" and "Datalog" rows
+//! (experiments T2-U7, T2-U8, T2-L4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use treelineage_datalog::{evaluate_datalog, evaluate_ra, DatalogProgram, RaExpression};
+use treelineage_graph::generators;
+use treelineage_instance::{encodings, Signature};
+
+fn bench_ra_and_datalog(c: &mut Criterion) {
+    let sig = Signature::builder().relation("E", 2).build();
+    let e = sig.relation_by_name("E").unwrap();
+
+    let mut group = c.benchmark_group("t2u7_positive_ra_formula");
+    group.sample_size(10);
+    for n in [20usize, 40, 80] {
+        let inst = encodings::graph_instance(&generators::path_graph(n), &sig, e);
+        let expr = RaExpression::Project {
+            input: Box::new(RaExpression::Join {
+                left: Box::new(RaExpression::Relation(e)),
+                right: Box::new(RaExpression::Relation(e)),
+                on: vec![(1, 0)],
+            }),
+            columns: vec![0, 3],
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| evaluate_ra(&expr, &inst).len())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("t2u8_datalog_provenance_circuit");
+    group.sample_size(10);
+    for n in [10usize, 20, 40] {
+        let inst = encodings::graph_instance(&generators::path_graph(n), &sig, e);
+        let program = DatalogProgram::transitive_closure(e);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| evaluate_datalog(&program, &inst).circuit.size())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ra_and_datalog);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Table 2 (lower bounds): circuit vs formula sizes for the threshold and
+//! parity lineage families of Section 7 (experiments T2-L1..L3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use treelineage_circuit::{parity_circuit, parity_formula, threshold2_circuit, threshold2_formula};
+
+fn bench_formula_constructions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t2l_threshold_and_parity");
+    group.sample_size(10);
+    for n in [64usize, 128, 256] {
+        let vars: Vec<usize> = (0..n).collect();
+        group.bench_with_input(BenchmarkId::new("threshold2_circuit", n), &n, |b, _| {
+            b.iter(|| threshold2_circuit(&vars).size())
+        });
+        group.bench_with_input(BenchmarkId::new("threshold2_formula", n), &n, |b, _| {
+            b.iter(|| threshold2_formula(&vars).leaf_size())
+        });
+        group.bench_with_input(BenchmarkId::new("parity_circuit", n), &n, |b, _| {
+            b.iter(|| parity_circuit(&vars).size())
+        });
+        group.bench_with_input(BenchmarkId::new("parity_formula", n), &n, |b, _| {
+            b.iter(|| parity_formula(&vars).leaf_size())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_formula_constructions);
+criterion_main!(benches);

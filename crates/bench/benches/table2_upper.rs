@@ -1,0 +1,75 @@
+//! Table 2 (upper bounds): lineage circuit / OBDD / d-DNNF construction on
+//! bounded-pathwidth and bounded-treewidth instances (experiments T2-U1..U5).
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use treelineage::prelude::*;
+use treelineage_instance::encodings;
+
+fn bench_bounded_pathwidth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t2u1_bounded_pathwidth_obdd");
+    group.sample_size(10);
+    for n in [50usize, 100, 200] {
+        let (sig, inst) = common::chain_instance(n);
+        let q = parse_query(&sig, "R(x), S(x, y), T(y)").unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let builder = LineageBuilder::new(&q, &inst).unwrap();
+                let obdd = builder.obdd();
+                assert!(obdd.width() <= 8);
+                obdd.size()
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("t2u2_bounded_pathwidth_circuit");
+    group.sample_size(10);
+    for n in [100usize, 200, 400] {
+        let (sig, inst) = common::chain_instance(n);
+        let q = parse_query(&sig, "R(x), S(x, y), T(y)").unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| LineageBuilder::new(&q, &inst).unwrap().circuit().size())
+        });
+    }
+    group.finish();
+}
+
+fn bench_bounded_treewidth(c: &mut Criterion) {
+    let sig = Signature::builder().relation("S", 2).relation("R", 2).build();
+    let q = parse_query(&sig, "S(x, y), S(y, z), x != z").unwrap();
+
+    let mut group = c.benchmark_group("t2u3_bounded_treewidth_obdd");
+    group.sample_size(10);
+    for n in [20usize, 40, 80] {
+        let inst = encodings::random_treelike_instance(&sig, n, 2, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| LineageBuilder::new(&q, &inst).unwrap().obdd().size())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("t2u4_bounded_treewidth_circuit");
+    group.sample_size(10);
+    for n in [40usize, 80, 160] {
+        let inst = encodings::random_treelike_instance(&sig, n, 2, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| LineageBuilder::new(&q, &inst).unwrap().circuit().size())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("t2u5_bounded_treewidth_ddnnf");
+    group.sample_size(10);
+    for n in [20usize, 40, 80] {
+        let inst = encodings::random_treelike_instance(&sig, n, 2, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| LineageBuilder::new(&q, &inst).unwrap().ddnnf().size())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bounded_pathwidth, bench_bounded_treewidth);
+criterion_main!(benches);

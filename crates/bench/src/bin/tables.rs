@@ -1,0 +1,322 @@
+//! Regenerates the paper's tables and dichotomy experiments as text output.
+//!
+//! Run with `cargo run -p treelineage-bench --bin tables --release`. Each
+//! section corresponds to an experiment id of DESIGN.md §3 and a row of
+//! EXPERIMENTS.md; timings are the job of the Criterion benches, this binary
+//! reports the *sizes and widths* that the paper's statements are about.
+
+use std::time::Instant;
+use treelineage::prelude::*;
+use treelineage_circuit::{parity_circuit, parity_formula, threshold2_circuit, threshold2_formula};
+use treelineage_datalog::{
+    evaluate_datalog, evaluate_ra, ra_result_formula_size, DatalogProgram, RaExpression,
+};
+use treelineage_graph::generators;
+use treelineage_hardness as hardness;
+use treelineage_instance::encodings;
+use treelineage_query::intricate;
+use treelineage_safe as safe;
+
+fn main() {
+    table2_upper();
+    table2_lower();
+    table1_and_counting();
+    dichotomies();
+}
+
+fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+fn table2_upper() {
+    header("Table 2 (upper bounds): lineage representations on treelike instances");
+
+    // T2-U1 / T2-U2: bounded pathwidth -> constant-width OBDD, linear circuit.
+    println!("\n[T2-U1/U2] bounded-pathwidth chains, query R(x),S(x,y),T(y)");
+    let sig = Signature::builder()
+        .relation("R", 1)
+        .relation("S", 2)
+        .relation("T", 1)
+        .build();
+    let q = parse_query(&sig, "R(x), S(x, y), T(y)").unwrap();
+    println!("{:>8} {:>10} {:>12} {:>12} {:>12}", "n", "facts", "circuit", "obdd width", "obdd size");
+    for n in [25usize, 50, 100, 200, 400] {
+        let mut inst = Instance::new(sig.clone());
+        for i in 0..n as u64 {
+            inst.add_fact_by_name("R", &[i]);
+            inst.add_fact_by_name("S", &[i, i + 1]);
+            inst.add_fact_by_name("T", &[i + 1]);
+        }
+        let builder = LineageBuilder::new(&q, &inst).unwrap();
+        let circuit = builder.circuit();
+        let obdd = builder.obdd();
+        println!(
+            "{:>8} {:>10} {:>12} {:>12} {:>12}",
+            n,
+            inst.fact_count(),
+            circuit.size(),
+            obdd.width(),
+            obdd.size()
+        );
+    }
+
+    // T2-U3/U4/U5: bounded treewidth -> polynomial OBDD, linear circuit, d-DNNF.
+    println!("\n[T2-U3/U4/U5] random partial 2-trees, query S(x,y),S(y,z) with x != z");
+    let sig2 = Signature::builder().relation("S", 2).relation("R", 2).build();
+    let q2 = parse_query(&sig2, "S(x, y), S(y, z), x != z").unwrap();
+    println!(
+        "{:>8} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        "n", "facts", "circuit", "obdd width", "obdd size", "ddnnf size"
+    );
+    for n in [20usize, 40, 80, 160] {
+        let inst = encodings::random_treelike_instance(&sig2, n, 2, 7);
+        let builder = LineageBuilder::new(&q2, &inst).unwrap();
+        println!(
+            "{:>8} {:>10} {:>12} {:>12} {:>12} {:>12}",
+            n,
+            inst.fact_count(),
+            builder.circuit().size(),
+            builder.obdd().width(),
+            builder.obdd().size(),
+            builder.ddnnf().size()
+        );
+    }
+
+    // T2-U6: inversion-free UCQ on arbitrary instances via unfolding.
+    println!("\n[T2-U6] inversion-free UCQ R(x),S(x,y) on dense instances: OBDD width before/after unfolding");
+    let sig3 = Signature::builder().relation("R", 1).relation("S", 2).build();
+    let q3 = parse_query(&sig3, "R(x), S(x, y)").unwrap();
+    println!("{:>8} {:>10} {:>14} {:>14} {:>12}", "n", "facts", "width (orig)", "width (unfold)", "tree-depth");
+    for n in [3u64, 6, 9, 12] {
+        let mut inst = Instance::new(sig3.clone());
+        for a in 1..=n {
+            inst.add_fact_by_name("R", &[a]);
+            for c in 1..=4u64 {
+                inst.add_fact_by_name("S", &[a, n + c]);
+            }
+        }
+        let width_orig = LineageBuilder::new(&q3, &inst).unwrap().obdd().width();
+        let unfolding = safe::unfold_for_query(&q3, &inst).unwrap();
+        let width_unf = LineageBuilder::new(&q3, &unfolding.instance)
+            .unwrap()
+            .obdd()
+            .width();
+        println!(
+            "{:>8} {:>10} {:>14} {:>14} {:>12}",
+            n,
+            inst.fact_count(),
+            width_orig,
+            width_unf,
+            unfolding.tree_depth
+        );
+    }
+
+    // T2-U7/U8: positive RA formulas and Datalog circuits on any instance.
+    println!("\n[T2-U7/U8] positive RA lineage formulas and Datalog provenance circuits (paths)");
+    let esig = Signature::builder().relation("E", 2).build();
+    let e = esig.relation_by_name("E").unwrap();
+    println!(
+        "{:>8} {:>14} {:>16} {:>18}",
+        "n", "RA formula", "Datalog circuit", "TC formula (0,n-1)"
+    );
+    for n in [6usize, 8, 10, 12] {
+        let inst = encodings::graph_instance(&generators::path_graph(n), &esig, e);
+        let expr = RaExpression::Project {
+            input: Box::new(RaExpression::Join {
+                left: Box::new(RaExpression::Relation(e)),
+                right: Box::new(RaExpression::Relation(e)),
+                on: vec![(1, 0)],
+            }),
+            columns: vec![0, 3],
+        };
+        let ra_size = ra_result_formula_size(&evaluate_ra(&expr, &inst));
+        let program = DatalogProgram::transitive_closure(e);
+        let provenance = evaluate_datalog(&program, &inst);
+        let formula = treelineage_datalog::datalog_lineage_formula(
+            &provenance,
+            0,
+            &vec![Element(0), Element(n as u64 - 1)],
+            10_000_000,
+        )
+        .unwrap();
+        println!(
+            "{:>8} {:>14} {:>16} {:>18}",
+            n,
+            ra_size,
+            provenance.circuit.size(),
+            formula.node_size()
+        );
+    }
+}
+
+fn table2_lower() {
+    header("Table 2 (lower bounds): formula representations (Section 7)");
+    println!("\n[T2-L1/L2/L3] circuit vs formula sizes for the lineage families");
+    println!(
+        "{:>6} {:>14} {:>16} {:>16} {:>14} {:>16}",
+        "n", "thr2 circuit", "thr2 formula", "thr2 naive", "parity circuit", "parity formula"
+    );
+    for n in [16usize, 32, 64, 128] {
+        let vars: Vec<usize> = (0..n).collect();
+        println!(
+            "{:>6} {:>14} {:>16} {:>16} {:>14} {:>16}",
+            n,
+            threshold2_circuit(&vars).size(),
+            threshold2_formula(&vars).leaf_size(),
+            treelineage_circuit::threshold2_formula_naive(&vars).leaf_size(),
+            parity_circuit(&vars).size(),
+            parity_formula(&vars).leaf_size()
+        );
+    }
+    println!("\n(reference growth rates: thr2 formula ~ n log n vs Omega(n log log n) lower bound;");
+    println!(" parity formula = n^2 vs Omega(n^2) lower bound; circuits stay linear)");
+
+    println!("\n[T2-L4] Datalog: transitive-closure provenance, circuit vs unfolded formula");
+    let esig = Signature::builder().relation("E", 2).build();
+    let e = esig.relation_by_name("E").unwrap();
+    println!("{:>6} {:>16} {:>18}", "n", "circuit gates", "formula nodes");
+    for n in [4usize, 6, 8, 10] {
+        let inst = encodings::graph_instance(&generators::path_graph(n), &esig, e);
+        let provenance = evaluate_datalog(&DatalogProgram::transitive_closure(e), &inst);
+        let formula = treelineage_datalog::datalog_lineage_formula(
+            &provenance,
+            0,
+            &vec![Element(0), Element(n as u64 - 1)],
+            10_000_000,
+        )
+        .unwrap();
+        println!(
+            "{:>6} {:>16} {:>18}",
+            n,
+            provenance.circuit.size(),
+            formula.node_size()
+        );
+    }
+}
+
+fn table1_and_counting() {
+    header("Table 1 / Theorems 5.2, 5.7: evaluation and counting on bounded vs unbounded treewidth");
+    println!("\n[T1-A] model checking and probability on partial 2-trees (times in ms, single run)");
+    let sig = Signature::builder().relation("S", 2).relation("R", 2).build();
+    let q = parse_query(&sig, "S(x, y), S(y, z), x != z").unwrap();
+    println!("{:>8} {:>10} {:>14} {:>16}", "n", "facts", "model check", "probability");
+    for n in [50usize, 100, 200, 400] {
+        let inst = encodings::random_treelike_instance(&sig, n, 2, 11);
+        let valuation = ProbabilityValuation::all_one_half(&inst);
+        let t0 = Instant::now();
+        let _ = treelineage::model_check(&q, &inst);
+        let t_mc = t0.elapsed();
+        let t1 = Instant::now();
+        let _ = ProbabilityEvaluator::new(&inst, &valuation)
+            .query_probability(&q)
+            .unwrap();
+        let t_prob = t1.elapsed();
+        println!(
+            "{:>8} {:>10} {:>12.2}ms {:>14.2}ms",
+            n,
+            inst.fact_count(),
+            t_mc.as_secs_f64() * 1e3,
+            t_prob.as_secs_f64() * 1e3
+        );
+    }
+
+    println!("\n[T1-B] match counting (selection subsets with an internal edge) vs independent-set DP");
+    let selsig = Signature::builder().relation("E", 2).relation("Sel", 1).build();
+    let e = selsig.relation_by_name("E").unwrap();
+    let qc = parse_query(&selsig, "E(x, y), Sel(x), Sel(y)").unwrap();
+    println!("{:>8} {:>22} {:>22}", "n", "non-independent sets", "independent sets");
+    for n in [6usize, 10, 14, 18] {
+        let graph = generators::path_graph(n);
+        let inst = encodings::graph_instance(&graph, &selsig, e);
+        let counter = MatchCounter::new(&qc, &inst, vec!["Sel"]);
+        let bad = counter.count().unwrap();
+        let independent = treelineage_graph::counting::count_independent_sets(&graph);
+        println!(
+            "{:>8} {:>22} {:>22}",
+            n,
+            bad.to_decimal_string(),
+            independent.to_decimal_string()
+        );
+    }
+}
+
+fn dichotomies() {
+    header("Dichotomy experiments (Theorems 4.2, 8.1, 8.7, 9.7)");
+
+    println!("\n[D-4.2b] #matchings of 3-regular (planar) graphs via probability of q_p (all-1/2 valuation)");
+    println!("{:>20} {:>8} {:>18} {:>18}", "graph", "edges", "from probability", "direct DP");
+    for (name, graph) in [
+        ("prism CL_3", generators::circular_ladder_graph(3)),
+        ("prism CL_4", generators::circular_ladder_graph(4)),
+        ("prism CL_5", generators::circular_ladder_graph(5)),
+        ("moebius ML_4", generators::moebius_ladder_graph(4)),
+    ] {
+        let result = hardness::matching_reduction(&graph);
+        println!(
+            "{:>20} {:>8} {:>18} {:>18}",
+            name,
+            graph.edge_count(),
+            result.matchings_from_probability.to_decimal_string(),
+            result.matchings_direct.to_decimal_string()
+        );
+    }
+
+    println!("\n[D-8.1] OBDD width of q_p: grids (unbounded treewidth) vs chains (treewidth 1)");
+    println!("{:>14} {:>10} {:>12}", "instance", "facts", "obdd width");
+    for n in [2usize, 3, 4, 5] {
+        let (w, _) = hardness::obdd_width_of_qp_on_grid(n);
+        println!("{:>14} {:>10} {:>12}", format!("{n}x{n} grid"), 2 * n * (n - 1), w);
+    }
+    for len in [20usize, 40, 80] {
+        let (w, _) = hardness::obdd_width_of_qp_on_chain(len);
+        println!("{:>14} {:>10} {:>12}", format!("chain {len}"), len, w);
+    }
+
+    println!("\n[D-8.7] intricacy classification (Lemma 8.6)");
+    let single = Signature::builder().relation("S", 2).build();
+    let rst = Signature::builder()
+        .relation("R", 1)
+        .relation("S", 2)
+        .relation("T", 1)
+        .build();
+    let qp = hardness::qp(&single);
+    let unsafe_q = parse_query(&rst, "R(x), S(x, y), T(y)").unwrap();
+    let cq_neq = parse_query(&single, "S(x, y), S(y, z), x != z").unwrap();
+    println!("  q_p intricate (0-intricate): {}", intricate::is_n_intricate(&qp, 0));
+    println!(
+        "  R(x),S(x,y),T(y) intricate:  {}",
+        intricate::is_intricate(&unsafe_q)
+    );
+    println!(
+        "  connected CQ!= intricate:    {}",
+        intricate::is_intricate(&cq_neq)
+    );
+
+    println!("\n[D-8.7b/8.9] non-intricate & homomorphism-closed queries on unbounded-treewidth families");
+    println!("{:>26} {:>6} {:>12}", "family", "n", "obdd width");
+    for n in [2usize, 4, 6] {
+        let (w, _) = hardness::obdd_width_of_unsafe_query_on_s_grid(n);
+        println!("{:>26} {:>6} {:>12}", "R,S,T on S-grid", n, w);
+    }
+    for n in [2usize, 4, 6] {
+        let (w, _) = hardness::obdd_width_of_ucq_on_bipartite(n);
+        println!("{:>26} {:>6} {:>12}", "UCQ on complete bipartite", n, w);
+    }
+
+    println!("\n[D-8.10] disconnected q_d on grids");
+    println!("{:>10} {:>12}", "grid", "obdd width");
+    for n in [2usize, 3, 4] {
+        let (w, _) = hardness::obdd_width_of_qd_on_grid(n);
+        println!("{:>10} {:>12}", format!("{n}x{n}"), w);
+    }
+
+    println!("\n[D-9.7] unfolding of inversion-free UCQs (see T2-U6 above for widths/tree-depth)");
+    let sig3 = Signature::builder().relation("R", 1).relation("S", 2).build();
+    let q3 = parse_query(&sig3, "R(x), S(x, y)").unwrap();
+    println!("  R(x),S(x,y) inversion-free:      {}", safe::is_inversion_free(&q3));
+    let rst_q = parse_query(&rst, "R(x), S(x, y), T(y)").unwrap();
+    println!(
+        "  R(x),S(x,y),T(y) inversion-free: {}",
+        safe::is_inversion_free(&rst_q)
+    );
+}

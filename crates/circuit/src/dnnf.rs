@@ -1,0 +1,310 @@
+//! d-DNNFs: deterministic decomposable negation normal forms
+//! (Definition 6.10 of the paper, following [20] and [36]).
+//!
+//! A d-DNNF is a circuit where (1) negation is applied to inputs only,
+//! (2) the children of every AND gate depend on disjoint variables
+//! (*decomposability*) and (3) the children of every OR gate are mutually
+//! exclusive (*determinism*). Probability evaluation and (after smoothing)
+//! model counting are linear on d-DNNFs; Theorem 6.11 shows MSO lineages on
+//! bounded-treewidth instances have linear-size d-DNNFs.
+
+use crate::circuit::{Circuit, Gate, GateId, VarId};
+use std::collections::BTreeSet;
+use treelineage_num::{BigUint, Rational};
+
+/// A circuit together with the verified d-DNNF structural guarantees.
+///
+/// Construct via [`Dnnf::verify`] (full verification, exponential determinism
+/// check — for tests) or [`Dnnf::from_trusted_circuit`] (checks the two
+/// syntactic conditions only; determinism is guaranteed by construction for
+/// the circuits produced by the deterministic lineage DP of the core crate,
+/// cf. Theorem 6.11's "if the automaton is deterministic" argument).
+#[derive(Clone, Debug)]
+pub struct Dnnf {
+    circuit: Circuit,
+}
+
+/// Errors reported when a circuit is not a d-DNNF.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DnnfError {
+    /// A NOT gate is applied to a non-input gate.
+    NegationOnInternalGate(GateId),
+    /// An AND gate has children sharing a variable.
+    NotDecomposable(GateId),
+    /// An OR gate has two children that are simultaneously satisfiable.
+    NotDeterministic(GateId),
+}
+
+impl std::fmt::Display for DnnfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DnnfError::NegationOnInternalGate(g) => {
+                write!(f, "gate {g:?}: negation applied to an internal gate")
+            }
+            DnnfError::NotDecomposable(g) => {
+                write!(f, "AND gate {g:?} has children sharing variables")
+            }
+            DnnfError::NotDeterministic(g) => {
+                write!(f, "OR gate {g:?} has overlapping children")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DnnfError {}
+
+impl Dnnf {
+    /// Wraps a circuit after checking the two *syntactic* d-DNNF conditions
+    /// (negations on inputs, decomposability). Determinism — a semantic
+    /// condition — is trusted; use [`Dnnf::verify`] to also check it
+    /// exhaustively on small circuits.
+    pub fn from_trusted_circuit(circuit: Circuit) -> Result<Self, DnnfError> {
+        let dependencies = circuit.gate_dependencies();
+        check_syntactic(&circuit, &dependencies)?;
+        Ok(Dnnf { circuit })
+    }
+
+    /// Wraps a circuit after checking all three d-DNNF conditions; the
+    /// determinism check enumerates assignments and is exponential, so the
+    /// circuit must have at most 20 variables.
+    pub fn verify(circuit: Circuit) -> Result<Self, DnnfError> {
+        let dependencies = circuit.gate_dependencies();
+        check_syntactic(&circuit, &dependencies)?;
+        // Determinism: for every OR gate, no assignment makes two distinct
+        // children true simultaneously.
+        let vars: Vec<VarId> = circuit.variables().into_iter().collect();
+        assert!(vars.len() <= 20, "exhaustive determinism check limited to 20 variables");
+        for mask in 0u64..(1u64 << vars.len()) {
+            let true_vars: BTreeSet<VarId> = vars
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, &v)| v)
+                .collect();
+            let values = circuit.evaluate_all_gates(&|v| true_vars.contains(&v));
+            for id in circuit.gate_ids() {
+                if let Gate::Or(inputs) = circuit.gate(id) {
+                    let true_children = inputs.iter().filter(|i| values[i.0]).count();
+                    if true_children > 1 {
+                        return Err(DnnfError::NotDeterministic(id));
+                    }
+                }
+            }
+        }
+        Ok(Dnnf { circuit })
+    }
+
+    /// The underlying circuit.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Size of the d-DNNF (number of gates).
+    pub fn size(&self) -> usize {
+        self.circuit.size()
+    }
+
+    /// The variables the d-DNNF depends on.
+    pub fn variables(&self) -> BTreeSet<VarId> {
+        self.circuit.variables()
+    }
+
+    /// Probability that the represented function is true when variable `v`
+    /// is independently true with probability `prob(v)`. Linear in the
+    /// circuit size ([20]): OR children are mutually exclusive so their
+    /// probabilities add; AND children are independent so they multiply.
+    pub fn probability(&self, prob: &dyn Fn(VarId) -> Rational) -> Rational {
+        let mut values: Vec<Rational> = Vec::with_capacity(self.circuit.size());
+        for id in self.circuit.gate_ids() {
+            let p = match self.circuit.gate(id) {
+                Gate::Var(v) => prob(*v),
+                Gate::Const(b) => {
+                    if *b {
+                        Rational::one()
+                    } else {
+                        Rational::zero()
+                    }
+                }
+                Gate::Not(i) => values[i.0].complement(),
+                Gate::And(inputs) => {
+                    let mut acc = Rational::one();
+                    for &i in inputs {
+                        acc *= &values[i.0];
+                    }
+                    acc
+                }
+                Gate::Or(inputs) => {
+                    let mut acc = Rational::zero();
+                    for &i in inputs {
+                        acc += &values[i.0];
+                    }
+                    acc
+                }
+            };
+            values.push(p);
+        }
+        values[self.circuit.output().0].clone()
+    }
+
+    /// Number of satisfying assignments over `universe` (which must contain
+    /// all variables of the d-DNNF). Computed as the probability under the
+    /// all-1/2 valuation scaled by `2^{|universe|}` — this is exactly the
+    /// relationship between model counting and probability evaluation used in
+    /// footnote 3 of the paper, and it sidesteps the need for explicit
+    /// smoothing.
+    pub fn count_models(&self, universe: &[VarId]) -> BigUint {
+        let vars = self.variables();
+        assert!(
+            vars.iter().all(|v| universe.contains(v)),
+            "universe must contain all variables of the d-DNNF"
+        );
+        let p = self.probability(&|_| Rational::one_half());
+        // p has denominator a power of two; p * 2^{|universe|} is an integer.
+        let scaled = &p * &Rational::from_biguint(BigUint::pow2(universe.len()));
+        assert!(
+            scaled.denominator().is_one(),
+            "model count computation did not yield an integer"
+        );
+        assert!(!scaled.numerator().is_negative());
+        scaled.numerator().magnitude().clone()
+    }
+}
+
+fn check_syntactic(
+    circuit: &Circuit,
+    dependencies: &[BTreeSet<VarId>],
+) -> Result<(), DnnfError> {
+    for id in circuit.gate_ids() {
+        match circuit.gate(id) {
+            Gate::Not(i) => {
+                if !matches!(circuit.gate(*i), Gate::Var(_) | Gate::Const(_)) {
+                    return Err(DnnfError::NegationOnInternalGate(id));
+                }
+            }
+            Gate::And(inputs) => {
+                // Children must have pairwise disjoint dependency sets.
+                let mut seen: BTreeSet<VarId> = BTreeSet::new();
+                for &i in inputs {
+                    for v in &dependencies[i.0] {
+                        if !seen.insert(*v) {
+                            return Err(DnnfError::NotDecomposable(id));
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the d-DNNF for "exactly one of x0, x1 is true":
+    /// (x0 AND NOT x1) OR (NOT x0 AND x1).
+    fn exactly_one() -> Circuit {
+        let mut c = Circuit::new();
+        let x0 = c.var(0);
+        let x1 = c.var(1);
+        let n0 = c.not(x0);
+        let n1 = c.not(x1);
+        let left = c.and(vec![x0, n1]);
+        let right = c.and(vec![n0, x1]);
+        let o = c.or(vec![left, right]);
+        c.set_output(o);
+        c
+    }
+
+    #[test]
+    fn exactly_one_is_a_ddnnf() {
+        let d = Dnnf::verify(exactly_one()).unwrap();
+        assert_eq!(d.size(), 7);
+        assert_eq!(d.count_models(&[0, 1]).to_u64(), Some(2));
+        let p = d.probability(&|v| {
+            if v == 0 {
+                Rational::from_ratio_u64(1, 3)
+            } else {
+                Rational::from_ratio_u64(1, 4)
+            }
+        });
+        // 1/3 * 3/4 + 2/3 * 1/4 = 1/4 + 1/6 = 5/12.
+        assert_eq!(p, Rational::from_ratio_u64(5, 12));
+    }
+
+    #[test]
+    fn non_decomposable_and_is_rejected() {
+        let mut c = Circuit::new();
+        let x0 = c.var(0);
+        let a = c.and(vec![x0, x0]);
+        c.set_output(a);
+        assert_eq!(
+            Dnnf::from_trusted_circuit(c).unwrap_err(),
+            DnnfError::NotDecomposable(GateId(1))
+        );
+    }
+
+    #[test]
+    fn non_deterministic_or_is_rejected_by_verify() {
+        let mut c = Circuit::new();
+        let x0 = c.var(0);
+        let x1 = c.var(1);
+        let o = c.or(vec![x0, x1]);
+        c.set_output(o);
+        // Syntactically fine (decomposable OR is not required)…
+        assert!(Dnnf::from_trusted_circuit(c.clone()).is_ok());
+        // …but not deterministic: x0 = x1 = 1 satisfies both children.
+        assert_eq!(
+            Dnnf::verify(c).unwrap_err(),
+            DnnfError::NotDeterministic(GateId(2))
+        );
+    }
+
+    #[test]
+    fn negation_on_internal_gate_is_rejected() {
+        let mut c = Circuit::new();
+        let x0 = c.var(0);
+        let x1 = c.var(1);
+        let a = c.and(vec![x0, x1]);
+        let n = c.not(a);
+        c.set_output(n);
+        assert_eq!(
+            Dnnf::from_trusted_circuit(c).unwrap_err(),
+            DnnfError::NegationOnInternalGate(GateId(3))
+        );
+    }
+
+    #[test]
+    fn model_count_over_larger_universe() {
+        let d = Dnnf::verify(exactly_one()).unwrap();
+        // Over a universe with an extra variable the count doubles.
+        assert_eq!(d.count_models(&[0, 1, 7]).to_u64(), Some(4));
+    }
+
+    #[test]
+    fn probability_of_constant_circuits() {
+        let mut c = Circuit::new();
+        let t = c.constant(true);
+        c.set_output(t);
+        let d = Dnnf::verify(c).unwrap();
+        assert!(d.probability(&|_| Rational::one_half()).is_one());
+        assert_eq!(d.count_models(&[0, 1]).to_u64(), Some(4));
+    }
+
+    #[test]
+    fn deterministic_or_with_mutually_exclusive_guards() {
+        // (x0 AND x1) OR (NOT x0 AND x2) is deterministic and decomposable.
+        let mut c = Circuit::new();
+        let x0 = c.var(0);
+        let x1 = c.var(1);
+        let x2 = c.var(2);
+        let n0 = c.not(x0);
+        let left = c.and(vec![x0, x1]);
+        let right = c.and(vec![n0, x2]);
+        let o = c.or(vec![left, right]);
+        c.set_output(o);
+        let d = Dnnf::verify(c).unwrap();
+        assert_eq!(d.count_models(&[0, 1, 2]).to_u64(), Some(4));
+    }
+}

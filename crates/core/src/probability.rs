@@ -1,0 +1,221 @@
+//! Probability evaluation on tuple-independent databases (Definition 3.1,
+//! Theorem 3.2 and Theorem 4.2's tractable side).
+//!
+//! The probability of a UCQ≠ on a TID instance is the total weight of the
+//! possible worlds (fact subsets) satisfying the query. [`ProbabilityEvaluator`]
+//! computes it exactly, over [`Rational`] numbers, by compiling the query
+//! lineage (see [`crate::lineage`]) and evaluating the probability of the
+//! resulting OBDD / d-DNNF in time linear in the representation — the
+//! "ra-linear modulo compilation" pipeline that the paper's upper bounds
+//! describe. A brute-force possible-worlds oracle is provided for testing.
+
+use crate::lineage::{LineageBuilder, LineageError};
+use std::collections::BTreeSet;
+use treelineage_graph::TreeDecomposition;
+use treelineage_instance::{FactId, Instance, ProbabilityValuation};
+use treelineage_num::{BigUint, Rational};
+use treelineage_query::{matching, UnionOfConjunctiveQueries};
+
+/// Exact probability evaluation for UCQ≠ queries on TID instances.
+pub struct ProbabilityEvaluator<'a> {
+    instance: &'a Instance,
+    valuation: &'a ProbabilityValuation,
+    decomposition: Option<TreeDecomposition>,
+}
+
+impl<'a> ProbabilityEvaluator<'a> {
+    /// Creates an evaluator over the given instance and probability
+    /// valuation.
+    pub fn new(instance: &'a Instance, valuation: &'a ProbabilityValuation) -> Self {
+        assert_eq!(
+            valuation.len(),
+            instance.fact_count(),
+            "valuation must cover every fact"
+        );
+        ProbabilityEvaluator {
+            instance,
+            valuation,
+            decomposition: None,
+        }
+    }
+
+    /// Uses the given tree decomposition of the instance to drive lineage
+    /// compilation (otherwise a heuristic one is computed).
+    pub fn with_decomposition(mut self, td: TreeDecomposition) -> Self {
+        self.decomposition = Some(td);
+        self
+    }
+
+    /// The probability that the query holds, computed through the OBDD
+    /// lineage (Theorem 6.5 / 6.7 pipeline).
+    pub fn query_probability(
+        &self,
+        query: &UnionOfConjunctiveQueries,
+    ) -> Result<Rational, LineageError> {
+        let mut builder = LineageBuilder::new(query, self.instance)?;
+        if let Some(td) = &self.decomposition {
+            builder = builder.with_decomposition(td.clone())?;
+        }
+        let obdd = builder.obdd();
+        Ok(obdd.probability(&|v| self.valuation.probability(FactId(v)).clone()))
+    }
+
+    /// The probability that the query holds, computed through the d-DNNF
+    /// lineage (Theorem 6.11 pipeline). Always equal to
+    /// [`ProbabilityEvaluator::query_probability`]; exposed separately so the
+    /// benchmarks can time the two pipelines independently.
+    pub fn query_probability_via_ddnnf(
+        &self,
+        query: &UnionOfConjunctiveQueries,
+    ) -> Result<Rational, LineageError> {
+        let mut builder = LineageBuilder::new(query, self.instance)?;
+        if let Some(td) = &self.decomposition {
+            builder = builder.with_decomposition(td.clone())?;
+        }
+        let ddnnf = builder.ddnnf();
+        Ok(ddnnf.probability(&|v| self.valuation.probability(FactId(v)).clone()))
+    }
+
+    /// Brute-force possible-worlds probability (the oracle of Definition 3.1);
+    /// exponential, limited to 20 facts.
+    pub fn query_probability_bruteforce(&self, query: &UnionOfConjunctiveQueries) -> Rational {
+        self.valuation
+            .probability_of(|world| matching::satisfied_in_world(query, self.instance, world))
+    }
+
+    /// Number of subinstances (possible worlds under the all-1/2 valuation,
+    /// scaled by `2^{|I|}`) satisfying the query — the model counting problem
+    /// related to probability evaluation by footnote 3 of the paper.
+    pub fn model_count(&self, query: &UnionOfConjunctiveQueries) -> Result<BigUint, LineageError> {
+        let mut builder = LineageBuilder::new(query, self.instance)?;
+        if let Some(td) = &self.decomposition {
+            builder = builder.with_decomposition(td.clone())?;
+        }
+        Ok(builder.obdd().count_models())
+    }
+
+    /// Brute-force model count (oracle); limited to 20 facts.
+    pub fn model_count_bruteforce(&self, query: &UnionOfConjunctiveQueries) -> BigUint {
+        let n = self.instance.fact_count();
+        assert!(n <= 20, "brute-force model counting limited to 20 facts");
+        let mut count = 0u64;
+        for mask in 0u64..(1u64 << n) {
+            let world: BTreeSet<FactId> =
+                (0..n).filter(|i| mask >> i & 1 == 1).map(FactId).collect();
+            if matching::satisfied_in_world(query, self.instance, &world) {
+                count += 1;
+            }
+        }
+        BigUint::from_u64(count)
+    }
+}
+
+/// Standard (non-probabilistic) model checking, i.e. the evaluation problem
+/// of Definition 5.1, for UCQ≠ queries: simply checks satisfaction on the
+/// full instance. Linear-time in the number of homomorphism candidates for a
+/// fixed query; exposed here so the Table 1 experiments can time it.
+pub fn model_check(query: &UnionOfConjunctiveQueries, instance: &Instance) -> bool {
+    matching::satisfied(query, instance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treelineage_instance::{encodings, Signature};
+    use treelineage_query::parse_query;
+
+    fn rst() -> Signature {
+        Signature::builder()
+            .relation("R", 1)
+            .relation("S", 2)
+            .relation("T", 1)
+            .build()
+    }
+
+    fn chain(n: usize) -> Instance {
+        let mut inst = Instance::new(rst());
+        for i in 0..n as u64 {
+            inst.add_fact_by_name("R", &[i]);
+            inst.add_fact_by_name("S", &[i, i + 1]);
+            inst.add_fact_by_name("T", &[i + 1]);
+        }
+        inst
+    }
+
+    #[test]
+    fn probability_matches_bruteforce_on_small_instances() {
+        let q = parse_query(&rst(), "R(x), S(x, y), T(y)").unwrap();
+        for n in 1..=4usize {
+            let inst = chain(n);
+            let probs: Vec<f64> = (0..inst.fact_count())
+                .map(|i| [0.5, 0.25, 0.75, 0.125][i % 4])
+                .collect();
+            let valuation = ProbabilityValuation::from_f64(&inst, &probs);
+            let evaluator = ProbabilityEvaluator::new(&inst, &valuation);
+            let expected = evaluator.query_probability_bruteforce(&q);
+            assert_eq!(evaluator.query_probability(&q).unwrap(), expected, "n={n}");
+            assert_eq!(
+                evaluator.query_probability_via_ddnnf(&q).unwrap(),
+                expected,
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn probability_of_certain_instance_is_model_checking() {
+        let q = parse_query(&rst(), "R(x), S(x, y), T(y)").unwrap();
+        let inst = chain(3);
+        let valuation = ProbabilityValuation::all_certain(&inst);
+        let evaluator = ProbabilityEvaluator::new(&inst, &valuation);
+        let p = evaluator.query_probability(&q).unwrap();
+        assert!(p.is_one());
+        assert!(model_check(&q, &inst));
+    }
+
+    #[test]
+    fn model_counting_matches_bruteforce() {
+        let q = parse_query(&rst(), "R(x), S(x, y), T(y) | S(x, y), S(y, z), x != z").unwrap();
+        let inst = chain(2);
+        let valuation = ProbabilityValuation::all_one_half(&inst);
+        let evaluator = ProbabilityEvaluator::new(&inst, &valuation);
+        assert_eq!(
+            evaluator.model_count(&q).unwrap().to_u64(),
+            evaluator.model_count_bruteforce(&q).to_u64()
+        );
+        // Footnote 3: model count = 2^{|I|} * probability under all-1/2.
+        let p = evaluator.query_probability(&q).unwrap();
+        let scaled = &p
+            * &Rational::from_biguint(treelineage_num::BigUint::pow2(inst.fact_count()));
+        assert_eq!(
+            scaled.numerator().magnitude().to_u64(),
+            evaluator.model_count(&q).unwrap().to_u64()
+        );
+    }
+
+    #[test]
+    fn grid_instance_probability_small() {
+        // Tractable even on (small) high-treewidth instances; correctness is
+        // what we check here, the complexity behaviour is the benches' job.
+        let sig = Signature::builder().relation("S", 2).build();
+        let s = sig.relation_by_name("S").unwrap();
+        let inst = encodings::grid_instance(&sig, s, 2, 3);
+        let q = parse_query(&sig, "S(x, y), S(y, z), x != z").unwrap();
+        let valuation = ProbabilityValuation::all_one_half(&inst);
+        let evaluator = ProbabilityEvaluator::new(&inst, &valuation);
+        let expected = evaluator.query_probability_bruteforce(&q);
+        assert_eq!(evaluator.query_probability(&q).unwrap(), expected);
+    }
+
+    #[test]
+    fn evaluation_with_explicit_decomposition() {
+        let q = parse_query(&rst(), "R(x), S(x, y), T(y)").unwrap();
+        let inst = chain(3);
+        let (graph, _) = inst.gaifman_graph();
+        let (_, td) = treelineage_graph::treewidth::treewidth_upper_bound(&graph);
+        let valuation = ProbabilityValuation::all_one_half(&inst);
+        let evaluator = ProbabilityEvaluator::new(&inst, &valuation).with_decomposition(td);
+        let expected = evaluator.query_probability_bruteforce(&q);
+        assert_eq!(evaluator.query_probability(&q).unwrap(), expected);
+    }
+}

@@ -1,0 +1,546 @@
+//! Positive relational algebra and Datalog with provenance
+//! (the "any instance" rows of Table 2: monotone lineage formulas for the
+//! positive relational algebra [34] and monotone provenance circuits for
+//! Datalog [21]).
+//!
+//! These two rows of Table 2 are the baselines the paper contrasts with its
+//! treewidth-based constructions: on *arbitrary* instances, positive
+//! relational algebra admits polynomial monotone lineage **formulas**, while
+//! recursive Datalog still admits polynomial monotone **circuits** but
+//! provably not polynomial formulas (Table 2, lower part, last row). This
+//! crate implements both provenance-carrying evaluators so that the benches
+//! can measure the corresponding sizes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, BTreeSet};
+use treelineage_circuit::{Circuit, Formula, GateId};
+use treelineage_instance::{Element, FactId, Instance, RelationId};
+
+/// A tuple of domain elements (a row of an intermediate relation).
+pub type Row = Vec<Element>;
+
+/// An expression of the positive relational algebra over the relations of an
+/// instance (selection with column equality, projection, natural-style join
+/// on explicit column pairs, and union).
+#[derive(Clone, Debug)]
+pub enum RaExpression {
+    /// A base relation scan.
+    Relation(RelationId),
+    /// Selection: keep rows where the two columns are equal.
+    Select {
+        /// The operand.
+        input: Box<RaExpression>,
+        /// First column of the equality.
+        left_column: usize,
+        /// Second column of the equality.
+        right_column: usize,
+    },
+    /// Projection onto the given columns (in order, duplicates allowed).
+    Project {
+        /// The operand.
+        input: Box<RaExpression>,
+        /// The retained columns.
+        columns: Vec<usize>,
+    },
+    /// Join of two operands on pairs of (left column, right column).
+    Join {
+        /// Left operand.
+        left: Box<RaExpression>,
+        /// Right operand.
+        right: Box<RaExpression>,
+        /// Column equalities; the output schema is left columns followed by
+        /// right columns.
+        on: Vec<(usize, usize)>,
+    },
+    /// Union of two operands with the same arity.
+    Union(Box<RaExpression>, Box<RaExpression>),
+}
+
+/// The result of evaluating an [`RaExpression`] with provenance: each output
+/// row is annotated with a monotone lineage [`Formula`] over the instance's
+/// fact ids ([34]-style Boolean provenance).
+pub fn evaluate_ra(expression: &RaExpression, instance: &Instance) -> BTreeMap<Row, Formula> {
+    match expression {
+        RaExpression::Relation(relation) => {
+            let mut out = BTreeMap::new();
+            for id in instance.facts_of(*relation) {
+                let fact = instance.fact(id);
+                insert_or(&mut out, fact.arguments().to_vec(), Formula::Var(id.0));
+            }
+            out
+        }
+        RaExpression::Select {
+            input,
+            left_column,
+            right_column,
+        } => {
+            let mut out = BTreeMap::new();
+            for (row, lineage) in evaluate_ra(input, instance) {
+                if row[*left_column] == row[*right_column] {
+                    insert_or(&mut out, row, lineage);
+                }
+            }
+            out
+        }
+        RaExpression::Project { input, columns } => {
+            let mut out = BTreeMap::new();
+            for (row, lineage) in evaluate_ra(input, instance) {
+                let projected: Row = columns.iter().map(|&c| row[c]).collect();
+                insert_or(&mut out, projected, lineage);
+            }
+            out
+        }
+        RaExpression::Join { left, right, on } => {
+            let left_rows = evaluate_ra(left, instance);
+            let right_rows = evaluate_ra(right, instance);
+            let mut out = BTreeMap::new();
+            for (lrow, llin) in &left_rows {
+                for (rrow, rlin) in &right_rows {
+                    if on.iter().all(|&(lc, rc)| lrow[lc] == rrow[rc]) {
+                        let mut row = lrow.clone();
+                        row.extend(rrow.iter().copied());
+                        insert_or(
+                            &mut out,
+                            row,
+                            Formula::And(vec![llin.clone(), rlin.clone()]),
+                        );
+                    }
+                }
+            }
+            out
+        }
+        RaExpression::Union(a, b) => {
+            let mut out = evaluate_ra(a, instance);
+            for (row, lineage) in evaluate_ra(b, instance) {
+                insert_or(&mut out, row, lineage);
+            }
+            out
+        }
+    }
+}
+
+fn insert_or(map: &mut BTreeMap<Row, Formula>, row: Row, lineage: Formula) {
+    match map.remove(&row) {
+        Some(existing) => {
+            map.insert(row, Formula::Or(vec![existing, lineage]));
+        }
+        None => {
+            map.insert(row, lineage);
+        }
+    }
+}
+
+/// The total lineage-formula size (leaf occurrences) of an RA result — the
+/// quantity reported by the Table 2 "positive relational algebra" row.
+pub fn ra_result_formula_size(result: &BTreeMap<Row, Formula>) -> usize {
+    result.values().map(|f| f.leaf_size()).sum()
+}
+
+// ---------------------------------------------------------------------------
+// Datalog
+// ---------------------------------------------------------------------------
+
+/// A Datalog predicate: either a base (EDB) relation of the instance or a
+/// derived (IDB) predicate identified by name.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Predicate {
+    /// An EDB relation of the instance.
+    Edb(RelationId),
+    /// A derived predicate, identified by an index into the program's IDB
+    /// list.
+    Idb(usize),
+}
+
+/// A term of a Datalog rule: a variable (by index) only — the paper's queries
+/// are constant-free, so are our programs.
+pub type Term = usize;
+
+/// A Datalog atom: a predicate applied to variables.
+#[derive(Clone, Debug)]
+pub struct DatalogAtom {
+    /// The atom's predicate.
+    pub predicate: Predicate,
+    /// The atom's variables.
+    pub variables: Vec<Term>,
+}
+
+/// A positive Datalog rule `head :- body`.
+#[derive(Clone, Debug)]
+pub struct DatalogRule {
+    /// The IDB predicate being defined.
+    pub head_predicate: usize,
+    /// The head's variables.
+    pub head_variables: Vec<Term>,
+    /// The body atoms.
+    pub body: Vec<DatalogAtom>,
+}
+
+/// A positive Datalog program: a list of IDB predicate names with arities and
+/// the rules defining them.
+#[derive(Clone, Debug)]
+pub struct DatalogProgram {
+    /// `(name, arity)` of each IDB predicate.
+    pub idb: Vec<(String, usize)>,
+    /// The rules.
+    pub rules: Vec<DatalogRule>,
+}
+
+impl DatalogProgram {
+    /// The classic transitive-closure program over a binary EDB relation:
+    /// `TC(x, y) :- E(x, y)` and `TC(x, z) :- TC(x, y), E(y, z)`.
+    pub fn transitive_closure(edge: RelationId) -> Self {
+        DatalogProgram {
+            idb: vec![("TC".to_string(), 2)],
+            rules: vec![
+                DatalogRule {
+                    head_predicate: 0,
+                    head_variables: vec![0, 1],
+                    body: vec![DatalogAtom {
+                        predicate: Predicate::Edb(edge),
+                        variables: vec![0, 1],
+                    }],
+                },
+                DatalogRule {
+                    head_predicate: 0,
+                    head_variables: vec![0, 2],
+                    body: vec![
+                        DatalogAtom {
+                            predicate: Predicate::Idb(0),
+                            variables: vec![0, 1],
+                        },
+                        DatalogAtom {
+                            predicate: Predicate::Edb(edge),
+                            variables: vec![1, 2],
+                        },
+                    ],
+                },
+            ],
+        }
+    }
+}
+
+/// The provenance-carrying result of a Datalog evaluation: for every IDB
+/// predicate, the derived rows with their provenance gate in the
+/// accompanying monotone circuit ([21]-style provenance circuits).
+pub struct DatalogProvenance {
+    /// The monotone provenance circuit; variable `i` is fact `FactId(i)`.
+    pub circuit: Circuit,
+    /// For each IDB predicate, the derived rows and their gates.
+    pub derived: Vec<BTreeMap<Row, GateId>>,
+}
+
+/// Evaluates a positive Datalog program on an instance to fixpoint (naive
+/// iteration), building a monotone provenance circuit: the gate of a derived
+/// row is the OR over its derivations (across iterations) of the AND of the
+/// gates of the body rows. The circuit has polynomially many gates; a
+/// formula unfolding of the same provenance blows up (the `n^{Ω(log n)}`
+/// lower bound row of Table 2), which [`datalog_lineage_formula`] exhibits.
+pub fn evaluate_datalog(program: &DatalogProgram, instance: &Instance) -> DatalogProvenance {
+    let mut circuit = Circuit::new();
+    // Current gate per IDB row.
+    let mut derived: Vec<BTreeMap<Row, GateId>> =
+        vec![BTreeMap::new(); program.idb.len()];
+    // EDB gates: one variable per fact.
+    let mut edb: BTreeMap<RelationId, BTreeMap<Row, GateId>> = BTreeMap::new();
+    for (id, fact) in instance.facts() {
+        edb.entry(fact.relation())
+            .or_default()
+            .insert(fact.arguments().to_vec(), circuit.var(id.0));
+    }
+
+    // Naive fixpoint: at most |domain|^max_arity rows per IDB predicate, so
+    // at most that many rounds add a new row; we additionally OR in new
+    // derivations of existing rows until nothing changes structurally (new
+    // rows) — re-deriving the same row through longer paths is cut off by
+    // only accepting derivations that add new rows or strictly extend the
+    // set of derivations in the first |domain| rounds (enough for transitive
+    // closure and the experiments; a full well-founded derivation-tree
+    // treatment is out of scope).
+    let domain_size = instance.domain_size().max(1);
+    for _round in 0..=domain_size {
+        let mut additions: Vec<(usize, Row, GateId)> = Vec::new();
+        for rule in &program.rules {
+            let mut bindings: Vec<(BTreeMap<Term, Element>, Vec<GateId>)> =
+                vec![(BTreeMap::new(), Vec::new())];
+            for atom in &rule.body {
+                let rows: Vec<(Row, GateId)> = match &atom.predicate {
+                    Predicate::Edb(rel) => edb
+                        .get(rel)
+                        .map(|m| m.iter().map(|(r, &g)| (r.clone(), g)).collect())
+                        .unwrap_or_default(),
+                    Predicate::Idb(i) => derived[*i]
+                        .iter()
+                        .map(|(r, &g)| (r.clone(), g))
+                        .collect(),
+                };
+                let mut next_bindings = Vec::new();
+                for (binding, gates) in &bindings {
+                    for (row, gate) in &rows {
+                        let mut extended = binding.clone();
+                        let mut ok = true;
+                        for (&var, &value) in atom.variables.iter().zip(row.iter()) {
+                            match extended.get(&var) {
+                                Some(&bound) if bound != value => {
+                                    ok = false;
+                                    break;
+                                }
+                                Some(_) => {}
+                                None => {
+                                    extended.insert(var, value);
+                                }
+                            }
+                        }
+                        if ok {
+                            let mut new_gates = gates.clone();
+                            new_gates.push(*gate);
+                            next_bindings.push((extended, new_gates));
+                        }
+                    }
+                }
+                bindings = next_bindings;
+            }
+            for (binding, gates) in bindings {
+                let row: Row = rule
+                    .head_variables
+                    .iter()
+                    .map(|v| binding[v])
+                    .collect();
+                let gate = if gates.len() == 1 {
+                    gates[0]
+                } else {
+                    circuit.and(gates)
+                };
+                additions.push((rule.head_predicate, row, gate));
+            }
+        }
+        let mut changed = false;
+        for (pred, row, gate) in additions {
+            match derived[pred].get(&row) {
+                None => {
+                    derived[pred].insert(row, gate);
+                    changed = true;
+                }
+                Some(&existing) if existing != gate => {
+                    let merged = circuit.or(vec![existing, gate]);
+                    derived[pred].insert(row, merged);
+                }
+                Some(_) => {}
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Give the circuit a well-defined output: the OR of all derived rows of
+    // the first IDB predicate (the Boolean "is anything derivable" view).
+    let gates: Vec<GateId> = derived
+        .first()
+        .map(|m| m.values().copied().collect())
+        .unwrap_or_default();
+    let output = match gates.len() {
+        0 => circuit.constant(false),
+        1 => gates[0],
+        _ => circuit.or(gates),
+    };
+    circuit.set_output(output);
+
+    DatalogProvenance { circuit, derived }
+}
+
+/// The lineage of one derived row as a monotone Boolean formula, obtained by
+/// unfolding the provenance circuit (exponential in general — the gap the
+/// last row of Table 2 quantifies). Panics if the unfolding exceeds
+/// `max_nodes`.
+pub fn datalog_lineage_formula(
+    provenance: &DatalogProvenance,
+    predicate: usize,
+    row: &Row,
+    max_nodes: usize,
+) -> Option<Formula> {
+    let gate = *provenance.derived.get(predicate)?.get(row)?;
+    let mut circuit = provenance.circuit.clone();
+    circuit.set_output(gate);
+    Some(Formula::from_circuit(&circuit, max_nodes))
+}
+
+/// Checks a derived row's lineage against the semantics: for every
+/// subinstance (world), the row is derivable from the surviving facts iff its
+/// provenance gate evaluates to true. Brute force; limited to 16 facts.
+pub fn verify_datalog_provenance(
+    program: &DatalogProgram,
+    instance: &Instance,
+    provenance: &DatalogProvenance,
+) -> bool {
+    let n = instance.fact_count();
+    assert!(n <= 16, "verification limited to 16 facts");
+    for mask in 0u32..(1u32 << n) {
+        let keep: BTreeSet<FactId> = (0..n).filter(|i| mask >> i & 1 == 1).map(FactId).collect();
+        let world = instance.subinstance(&keep);
+        let world_result = evaluate_datalog(program, &world);
+        let true_vars: BTreeSet<usize> = keep.iter().map(|f| f.0).collect();
+        for (pred, rows) in provenance.derived.iter().enumerate() {
+            for (row, &gate) in rows {
+                let mut circuit = provenance.circuit.clone();
+                circuit.set_output(gate);
+                let lineage_true = circuit.evaluate_set(&true_vars);
+                let derivable = world_result
+                    .derived
+                    .get(pred)
+                    .map(|m| m.contains_key(row))
+                    .unwrap_or(false);
+                if lineage_true != derivable {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treelineage_graph::generators;
+    use treelineage_instance::{encodings, Signature};
+
+    fn edge_signature() -> (Signature, RelationId) {
+        let sig = Signature::builder().relation("E", 2).build();
+        let e = sig.relation_by_name("E").unwrap();
+        (sig, e)
+    }
+
+    fn path_instance(n: usize) -> (Instance, RelationId) {
+        let (sig, e) = edge_signature();
+        let graph = generators::path_graph(n);
+        (encodings::graph_instance(&graph, &sig, e), e)
+    }
+
+    #[test]
+    fn ra_join_projection_lineage() {
+        // pi_{x,z}(E(x,y) |x| E(y,z)): paths of length 2.
+        let (inst, e) = path_instance(4);
+        let expr = RaExpression::Project {
+            input: Box::new(RaExpression::Join {
+                left: Box::new(RaExpression::Relation(e)),
+                right: Box::new(RaExpression::Relation(e)),
+                on: vec![(1, 0)],
+            }),
+            columns: vec![0, 3],
+        };
+        let result = evaluate_ra(&expr, &inst);
+        // Path 0-1-2-3: length-2 paths are (0,2) and (1,3).
+        assert_eq!(result.len(), 2);
+        for (row, lineage) in &result {
+            assert_eq!(row.len(), 2);
+            assert!(lineage.is_monotone());
+            assert_eq!(lineage.leaf_size(), 2);
+        }
+        assert!(ra_result_formula_size(&result) == 4);
+    }
+
+    #[test]
+    fn ra_union_and_select_lineage() {
+        let (sig, e) = edge_signature();
+        let mut inst = Instance::new(sig);
+        inst.add_fact_by_name("E", &[1, 1]);
+        inst.add_fact_by_name("E", &[1, 2]);
+        // sigma_{0 = 1}(E) keeps only the loop; E union E keeps lineage simple.
+        let select = RaExpression::Select {
+            input: Box::new(RaExpression::Relation(e)),
+            left_column: 0,
+            right_column: 1,
+        };
+        let result = evaluate_ra(&select, &inst);
+        assert_eq!(result.len(), 1);
+        let union = RaExpression::Union(
+            Box::new(RaExpression::Relation(e)),
+            Box::new(RaExpression::Relation(e)),
+        );
+        let union_result = evaluate_ra(&union, &inst);
+        assert_eq!(union_result.len(), 2);
+        // Each row's lineage is Var OR Var (the duplicate scan).
+        for lineage in union_result.values() {
+            assert!(lineage.evaluate(&|_| true));
+        }
+    }
+
+    #[test]
+    fn ra_lineage_semantics_on_worlds() {
+        // For every world, a row is in the RA result of the world iff its
+        // lineage is true.
+        let (inst, e) = path_instance(4);
+        let expr = RaExpression::Project {
+            input: Box::new(RaExpression::Join {
+                left: Box::new(RaExpression::Relation(e)),
+                right: Box::new(RaExpression::Relation(e)),
+                on: vec![(1, 0)],
+            }),
+            columns: vec![0, 3],
+        };
+        let full = evaluate_ra(&expr, &inst);
+        let n = inst.fact_count();
+        for mask in 0u32..(1 << n) {
+            let keep: BTreeSet<FactId> =
+                (0..n).filter(|i| mask >> i & 1 == 1).map(FactId).collect();
+            let world = inst.subinstance(&keep);
+            // Re-evaluate on the world; compare row sets with lineage values.
+            let world_rows: BTreeSet<Row> =
+                evaluate_ra(&expr, &world).keys().cloned().collect();
+            let true_vars: BTreeSet<usize> = keep.iter().map(|f| f.0).collect();
+            for (row, lineage) in &full {
+                assert_eq!(world_rows.contains(row), lineage.evaluate_set(&true_vars));
+            }
+        }
+    }
+
+    #[test]
+    fn transitive_closure_provenance_on_a_path() {
+        let (inst, e) = path_instance(4);
+        let program = DatalogProgram::transitive_closure(e);
+        let provenance = evaluate_datalog(&program, &inst);
+        // TC over the path 0-1-2-3 has 6 pairs.
+        assert_eq!(provenance.derived[0].len(), 6);
+        assert!(provenance.circuit.is_monotone_syntactically());
+        assert!(verify_datalog_provenance(&program, &inst, &provenance));
+        // The lineage of TC(0, 3) is the conjunction of all three edges.
+        let row = vec![Element(0), Element(3)];
+        let formula = datalog_lineage_formula(&provenance, 0, &row, 10_000).unwrap();
+        assert!(formula.is_monotone());
+        assert!(formula.evaluate(&|_| true));
+        assert!(!formula.evaluate(&|v| v != 1));
+    }
+
+    #[test]
+    fn transitive_closure_provenance_on_a_cycle() {
+        let (sig, e) = edge_signature();
+        let graph = generators::cycle_graph(4);
+        let inst = encodings::graph_instance(&graph, &sig, e);
+        let program = DatalogProgram::transitive_closure(e);
+        let provenance = evaluate_datalog(&program, &inst);
+        assert!(verify_datalog_provenance(&program, &inst, &provenance));
+    }
+
+    #[test]
+    fn circuit_grows_polynomially_formula_grows_faster() {
+        // Circuit size vs formula size for the full transitive closure of
+        // growing paths: the circuit stays small, the unfolded formula for
+        // the farthest pair grows much faster (super-linearly in the circuit
+        // size).
+        let mut circuit_sizes = Vec::new();
+        let mut formula_sizes = Vec::new();
+        for n in [4usize, 6, 8] {
+            let (inst, e) = path_instance(n);
+            let program = DatalogProgram::transitive_closure(e);
+            let provenance = evaluate_datalog(&program, &inst);
+            circuit_sizes.push(provenance.circuit.size());
+            let row = vec![Element(0), Element(n as u64 - 1)];
+            let formula = datalog_lineage_formula(&provenance, 0, &row, 1_000_000).unwrap();
+            formula_sizes.push(formula.node_size());
+        }
+        assert!(circuit_sizes.windows(2).all(|w| w[1] > w[0]));
+        assert!(formula_sizes.windows(2).all(|w| w[1] > w[0]));
+    }
+}

@@ -1,0 +1,464 @@
+//! Undirected simple graphs.
+//!
+//! Following Section 2 of the paper, a graph is undirected, simple and
+//! unlabeled. Vertices are dense indices `0..n`; the Gaifman graph of a
+//! relational instance (built in `treelineage-instance`) maps domain elements
+//! to such indices. Unlike the paper's active-domain convention we allow
+//! isolated vertices at this level — callers that need the active-domain view
+//! can drop them — because decompositions and generators are simpler to state
+//! over a fixed vertex range.
+
+use std::collections::{BTreeSet, VecDeque};
+
+/// A vertex identifier: a dense index in `0..Graph::vertex_count()`.
+pub type Vertex = usize;
+
+/// An undirected edge, stored with `min <= max` endpoints.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Edge {
+    /// The smaller endpoint.
+    pub u: Vertex,
+    /// The larger endpoint.
+    pub v: Vertex,
+}
+
+impl Edge {
+    /// Creates an edge, normalizing endpoint order. Panics on self-loops.
+    pub fn new(a: Vertex, b: Vertex) -> Self {
+        assert!(a != b, "graphs are simple: no self-loops");
+        Edge {
+            u: a.min(b),
+            v: a.max(b),
+        }
+    }
+
+    /// Returns the endpoint different from `x`; panics if `x` is not an endpoint.
+    pub fn other(&self, x: Vertex) -> Vertex {
+        if x == self.u {
+            self.v
+        } else if x == self.v {
+            self.u
+        } else {
+            panic!("vertex {x} is not an endpoint of {self:?}");
+        }
+    }
+
+    /// Returns `true` if the two edges share an endpoint.
+    pub fn is_incident_to(&self, other: &Edge) -> bool {
+        self.u == other.u || self.u == other.v || self.v == other.u || self.v == other.v
+    }
+}
+
+/// An undirected simple graph on vertices `0..n`.
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    adjacency: Vec<BTreeSet<Vertex>>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// Creates a graph with `n` vertices and no edges.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adjacency: vec![BTreeSet::new(); n],
+            edge_count: 0,
+        }
+    }
+
+    /// Number of vertices (including isolated ones).
+    pub fn vertex_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Iterator over all vertices.
+    pub fn vertices(&self) -> impl Iterator<Item = Vertex> + '_ {
+        0..self.vertex_count()
+    }
+
+    /// Adds a vertex and returns its index.
+    pub fn add_vertex(&mut self) -> Vertex {
+        self.adjacency.push(BTreeSet::new());
+        self.adjacency.len() - 1
+    }
+
+    /// Ensures the graph has at least `n` vertices.
+    pub fn ensure_vertices(&mut self, n: usize) {
+        while self.adjacency.len() < n {
+            self.adjacency.push(BTreeSet::new());
+        }
+    }
+
+    /// Adds an undirected edge; returns `true` if it was not already present.
+    /// Panics on self-loops or out-of-range vertices.
+    pub fn add_edge(&mut self, a: Vertex, b: Vertex) -> bool {
+        assert!(a != b, "graphs are simple: no self-loops");
+        assert!(
+            a < self.vertex_count() && b < self.vertex_count(),
+            "vertex out of range"
+        );
+        let inserted = self.adjacency[a].insert(b);
+        self.adjacency[b].insert(a);
+        if inserted {
+            self.edge_count += 1;
+        }
+        inserted
+    }
+
+    /// Removes an edge; returns `true` if it was present.
+    pub fn remove_edge(&mut self, a: Vertex, b: Vertex) -> bool {
+        let removed = self.adjacency[a].remove(&b);
+        self.adjacency[b].remove(&a);
+        if removed {
+            self.edge_count -= 1;
+        }
+        removed
+    }
+
+    /// Returns `true` if `a` and `b` are adjacent.
+    pub fn has_edge(&self, a: Vertex, b: Vertex) -> bool {
+        self.adjacency.get(a).is_some_and(|s| s.contains(&b))
+    }
+
+    /// Neighbors of `v`, in increasing order.
+    pub fn neighbors(&self, v: Vertex) -> impl Iterator<Item = Vertex> + '_ {
+        self.adjacency[v].iter().copied()
+    }
+
+    /// The set of neighbors of `v`.
+    pub fn neighbor_set(&self, v: Vertex) -> &BTreeSet<Vertex> {
+        &self.adjacency[v]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: Vertex) -> usize {
+        self.adjacency[v].len()
+    }
+
+    /// Maximum degree over all vertices (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adjacency.iter().map(|s| s.len()).max().unwrap_or(0)
+    }
+
+    /// Returns `true` if every vertex has degree exactly `k`
+    /// (the paper's "k-regular").
+    pub fn is_k_regular(&self, k: usize) -> bool {
+        self.adjacency.iter().all(|s| s.len() == k)
+    }
+
+    /// Returns `true` if every vertex has degree in `degrees`
+    /// (the paper's "K-regular" for a finite set K).
+    pub fn is_set_regular(&self, degrees: &[usize]) -> bool {
+        self.adjacency.iter().all(|s| degrees.contains(&s.len()))
+    }
+
+    /// All edges, each reported once with `u < v`, in lexicographic order.
+    pub fn edges(&self) -> Vec<Edge> {
+        let mut out = Vec::with_capacity(self.edge_count);
+        for u in self.vertices() {
+            for &v in &self.adjacency[u] {
+                if u < v {
+                    out.push(Edge { u, v });
+                }
+            }
+        }
+        out
+    }
+
+    /// Vertices with degree at least one (the active domain in the paper's
+    /// graph-as-instance encoding, which disallows isolated vertices).
+    pub fn non_isolated_vertices(&self) -> Vec<Vertex> {
+        self.vertices().filter(|&v| self.degree(v) > 0).collect()
+    }
+
+    /// Breadth-first search from `start`; returns the set of reachable vertices.
+    pub fn reachable_from(&self, start: Vertex) -> BTreeSet<Vertex> {
+        let mut seen = BTreeSet::new();
+        let mut queue = VecDeque::new();
+        seen.insert(start);
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.adjacency[u] {
+                if seen.insert(v) {
+                    queue.push_back(v);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Connected components, as sorted vertex lists; isolated vertices form
+    /// singleton components.
+    pub fn connected_components(&self) -> Vec<Vec<Vertex>> {
+        let mut seen = vec![false; self.vertex_count()];
+        let mut components = Vec::new();
+        for v in self.vertices() {
+            if seen[v] {
+                continue;
+            }
+            let comp = self.reachable_from(v);
+            for &u in &comp {
+                seen[u] = true;
+            }
+            components.push(comp.into_iter().collect());
+        }
+        components
+    }
+
+    /// Returns `true` if the graph is connected (the empty graph and the
+    /// single-vertex graph count as connected).
+    pub fn is_connected(&self) -> bool {
+        self.connected_components().len() <= 1
+    }
+
+    /// Returns `true` if the graph contains a cycle.
+    pub fn has_cycle(&self) -> bool {
+        // A forest has exactly n - (#components) edges.
+        let components = self.connected_components().len();
+        self.edge_count > self.vertex_count().saturating_sub(components)
+    }
+
+    /// Returns `true` if the graph is a tree in the paper's sense: acyclic and
+    /// connected.
+    pub fn is_tree(&self) -> bool {
+        self.is_connected() && !self.has_cycle()
+    }
+
+    /// Length (in edges) of a shortest path between `a` and `b`, or `None` if
+    /// they are disconnected.
+    pub fn distance(&self, a: Vertex, b: Vertex) -> Option<usize> {
+        if a == b {
+            return Some(0);
+        }
+        let mut dist = vec![usize::MAX; self.vertex_count()];
+        dist[a] = 0;
+        let mut queue = VecDeque::new();
+        queue.push_back(a);
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.adjacency[u] {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    if v == b {
+                        return Some(dist[v]);
+                    }
+                    queue.push_back(v);
+                }
+            }
+        }
+        None
+    }
+
+    /// The subgraph induced by `keep`, with vertices renumbered `0..keep.len()`
+    /// in the order given. Returns the subgraph and the mapping from new to
+    /// old vertex indices.
+    pub fn induced_subgraph(&self, keep: &[Vertex]) -> (Graph, Vec<Vertex>) {
+        let mut new_index = vec![usize::MAX; self.vertex_count()];
+        for (i, &v) in keep.iter().enumerate() {
+            new_index[v] = i;
+        }
+        let mut sub = Graph::new(keep.len());
+        for (i, &v) in keep.iter().enumerate() {
+            for &w in &self.adjacency[v] {
+                if new_index[w] != usize::MAX && new_index[w] > i {
+                    sub.add_edge(i, new_index[w]);
+                }
+            }
+        }
+        (sub, keep.to_vec())
+    }
+
+    /// The subgraph keeping all vertices but only the given edges
+    /// (a "subinstance" of the graph seen as an instance).
+    pub fn edge_subgraph(&self, edges: &[Edge]) -> Graph {
+        let mut sub = Graph::new(self.vertex_count());
+        for e in edges {
+            assert!(self.has_edge(e.u, e.v), "edge not in graph");
+            sub.add_edge(e.u, e.v);
+        }
+        sub
+    }
+
+    /// Disjoint union of two graphs: vertices of `other` are shifted by
+    /// `self.vertex_count()`.
+    pub fn disjoint_union(&self, other: &Graph) -> Graph {
+        let offset = self.vertex_count();
+        let mut out = self.clone();
+        out.ensure_vertices(offset + other.vertex_count());
+        for e in other.edges() {
+            out.add_edge(e.u + offset, e.v + offset);
+        }
+        out
+    }
+
+    /// Checks whether `edges` forms a matching: no two selected edges share an
+    /// endpoint. (The hard problem behind Theorem 4.2 counts such subsets.)
+    pub fn is_matching(&self, edges: &[Edge]) -> bool {
+        let mut used = vec![false; self.vertex_count()];
+        for e in edges {
+            if used[e.u] || used[e.v] {
+                return false;
+            }
+            used[e.u] = true;
+            used[e.v] = true;
+        }
+        true
+    }
+
+    /// A simple greedy proper coloring; returns the color of each vertex.
+    /// Used by tests as a quick sanity device, not an optimal coloring.
+    pub fn greedy_coloring(&self) -> Vec<usize> {
+        let mut colors = vec![usize::MAX; self.vertex_count()];
+        for v in self.vertices() {
+            let used: BTreeSet<usize> = self.adjacency[v]
+                .iter()
+                .filter(|&&u| colors[u] != usize::MAX)
+                .map(|&u| colors[u])
+                .collect();
+            let mut c = 0;
+            while used.contains(&c) {
+                c += 1;
+            }
+            colors[v] = c;
+        }
+        colors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 2);
+        g
+    }
+
+    #[test]
+    fn edge_normalization_and_incidence() {
+        let e = Edge::new(5, 2);
+        assert_eq!((e.u, e.v), (2, 5));
+        assert_eq!(e.other(2), 5);
+        assert_eq!(e.other(5), 2);
+        assert!(e.is_incident_to(&Edge::new(5, 9)));
+        assert!(!e.is_incident_to(&Edge::new(3, 9)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_loop_panics() {
+        let mut g = Graph::new(2);
+        g.add_edge(1, 1);
+    }
+
+    #[test]
+    fn basic_construction() {
+        let g = triangle();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.max_degree(), 2);
+        assert!(g.is_k_regular(2));
+        assert!(g.is_set_regular(&[2, 3]));
+        assert!(!g.is_set_regular(&[3]));
+    }
+
+    #[test]
+    fn duplicate_edges_are_ignored() {
+        let mut g = Graph::new(2);
+        assert!(g.add_edge(0, 1));
+        assert!(!g.add_edge(1, 0));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn remove_edge_works() {
+        let mut g = triangle();
+        assert!(g.remove_edge(0, 1));
+        assert!(!g.remove_edge(0, 1));
+        assert_eq!(g.edge_count(), 2);
+        assert!(!g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn connectivity_and_components() {
+        let mut g = Graph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(3, 4);
+        assert!(!g.is_connected());
+        let comps = g.connected_components();
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![0, 1, 2]);
+        assert_eq!(comps[1], vec![3, 4]);
+        assert_eq!(g.distance(0, 2), Some(2));
+        assert_eq!(g.distance(0, 4), None);
+    }
+
+    #[test]
+    fn cycles_and_trees() {
+        let mut path = Graph::new(4);
+        path.add_edge(0, 1);
+        path.add_edge(1, 2);
+        path.add_edge(2, 3);
+        assert!(!path.has_cycle());
+        assert!(path.is_tree());
+        assert!(triangle().has_cycle());
+        assert!(!triangle().is_tree());
+    }
+
+    #[test]
+    fn induced_subgraph_renumbers() {
+        let g = triangle();
+        let (sub, map) = g.induced_subgraph(&[2, 0]);
+        assert_eq!(sub.vertex_count(), 2);
+        assert_eq!(sub.edge_count(), 1);
+        assert!(sub.has_edge(0, 1));
+        assert_eq!(map, vec![2, 0]);
+    }
+
+    #[test]
+    fn edge_subgraph_keeps_vertices() {
+        let g = triangle();
+        let sub = g.edge_subgraph(&[Edge::new(0, 1)]);
+        assert_eq!(sub.vertex_count(), 3);
+        assert_eq!(sub.edge_count(), 1);
+        assert_eq!(sub.non_isolated_vertices(), vec![0, 1]);
+    }
+
+    #[test]
+    fn disjoint_union_shifts() {
+        let g = triangle().disjoint_union(&triangle());
+        assert_eq!(g.vertex_count(), 6);
+        assert_eq!(g.edge_count(), 6);
+        assert!(g.has_edge(3, 4));
+        assert!(!g.has_edge(2, 3));
+    }
+
+    #[test]
+    fn matching_check() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        assert!(g.is_matching(&[]));
+        assert!(g.is_matching(&[Edge::new(0, 1), Edge::new(2, 3)]));
+        assert!(!g.is_matching(&[Edge::new(0, 1), Edge::new(1, 2)]));
+    }
+
+    #[test]
+    fn greedy_coloring_is_proper() {
+        let g = triangle();
+        let colors = g.greedy_coloring();
+        for e in g.edges() {
+            assert_ne!(colors[e.u], colors[e.v]);
+        }
+    }
+}

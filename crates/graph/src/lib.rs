@@ -1,0 +1,106 @@
+//! Graphs, treewidth machinery and graph counting problems for the
+//! `treelineage` workspace.
+//!
+//! This crate implements the graph-theoretic substrate of the paper
+//! *Tractable Lineages on Treelike Instances* (Amarilli, Bourhis, Senellart,
+//! PODS 2016): undirected simple graphs, tree and path decompositions with
+//! validation, nice tree decompositions for dynamic programming, treewidth /
+//! pathwidth / tree-depth computation (heuristic and exact for small inputs),
+//! the instance-family generators used by the experiments (grids, k-trees,
+//! 3-regular planar graphs, subdivisions, …), topological-minor embeddings
+//! (Definition 4.3), and exact counting of matchings, independent sets and
+//! Hamiltonian cycles (the reduction sources of Theorems 4.2 and 5.7).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counting;
+pub mod decomposition;
+pub mod generators;
+pub mod graph;
+pub mod minor;
+pub mod nice;
+pub mod treedepth;
+pub mod treewidth;
+
+pub use decomposition::{BagId, DecompositionError, TreeDecomposition};
+pub use graph::{Edge, Graph, Vertex};
+pub use minor::Embedding;
+pub use nice::{NiceNode, NiceNodeId, NiceTreeDecomposition};
+pub use treedepth::EliminationForest;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arbitrary_graph() -> impl Strategy<Value = Graph> {
+        (2usize..10, any::<u64>(), 0.1f64..0.9).prop_map(|(n, seed, p)| {
+            generators::random_graph(n, p, seed)
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn heuristic_decompositions_are_always_valid(g in arbitrary_graph()) {
+            let (_, td) = treewidth::treewidth_upper_bound(&g);
+            prop_assert!(td.validate(&g).is_ok());
+            let (_, pd) = treewidth::pathwidth_upper_bound(&g);
+            prop_assert!(pd.validate(&g).is_ok());
+            prop_assert!(pd.is_path());
+        }
+
+        #[test]
+        fn nice_decomposition_valid_and_same_width_class(g in arbitrary_graph()) {
+            let (w, td) = treewidth::treewidth_upper_bound(&g);
+            let nice = NiceTreeDecomposition::from_tree_decomposition(&td);
+            prop_assert!(nice.validate(&g).is_ok());
+            prop_assert!(nice.width() <= w);
+        }
+
+        #[test]
+        fn width_invariants(g in arbitrary_graph()) {
+            // degeneracy <= exact treewidth <= heuristic <= n-1,
+            // exact treewidth <= exact pathwidth <= exact treedepth - 1.
+            let n = g.vertex_count();
+            let tw = treewidth::treewidth_exact(&g);
+            let pw = treewidth::pathwidth_exact(&g);
+            let td = treedepth::treedepth_exact(&g);
+            let (ub, _) = treewidth::treewidth_upper_bound(&g);
+            prop_assert!(treewidth::degeneracy(&g) <= tw);
+            prop_assert!(tw <= ub);
+            prop_assert!(ub <= n.saturating_sub(1));
+            prop_assert!(tw <= pw);
+            prop_assert!(pw + 1 <= td || g.edge_count() == 0);
+        }
+
+        #[test]
+        fn matching_and_is_counts_agree_with_bruteforce(g in arbitrary_graph()) {
+            if g.edge_count() <= 16 {
+                prop_assert_eq!(
+                    counting::count_matchings(&g).to_u64(),
+                    counting::count_matchings_bruteforce(&g).to_u64()
+                );
+            }
+            prop_assert_eq!(
+                counting::count_independent_sets(&g).to_u64(),
+                counting::count_independent_sets_bruteforce(&g).to_u64()
+            );
+        }
+
+        #[test]
+        fn subdivision_preserves_treewidth_at_most(g in arbitrary_graph(), extra in 0usize..3) {
+            // Subdivision never increases treewidth (for graphs with at least
+            // one edge), and never drops it below 1.
+            prop_assume!(g.edge_count() >= 1);
+            let s = generators::subdivide(&g, extra);
+            if s.vertex_count() <= 24 && g.vertex_count() <= 24 {
+                let exact_g = treewidth::treewidth_exact(&g);
+                let exact_s = treewidth::treewidth_exact(&s);
+                prop_assert!(exact_s <= exact_g.max(1));
+            }
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Relational instances, Gaifman graphs and tuple-independent databases.
+//!
+//! This crate provides the data-model substrate of the paper *Tractable
+//! Lineages on Treelike Instances*: relational signatures ([`Signature`]),
+//! instances with active-domain semantics ([`Instance`]), their Gaifman
+//! graphs and treewidth, probability valuations and possible-worlds semantics
+//! ([`ProbabilityValuation`], Definition 3.1), and the concrete instance
+//! families used by the paper's constructions (line instances, S-grids,
+//! complete bipartite instances, bounded-treewidth random instances; see the
+//! [`encodings`] module).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod encodings;
+mod instance;
+mod signature;
+mod tid;
+
+pub use instance::{Element, Fact, FactId, Instance};
+pub use signature::{Relation, RelationId, Signature, SignatureBuilder};
+pub use tid::{ProbabilityValuation, TupleIndependentDatabase};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use treelineage_num::Rational;
+
+    fn arbitrary_instance() -> impl Strategy<Value = Instance> {
+        (2usize..12, 1usize..3, any::<u64>()).prop_map(|(n, k, seed)| {
+            let sig = Signature::builder()
+                .relation("R", 2)
+                .relation("S", 2)
+                .relation("L", 1)
+                .build();
+            encodings::random_treelike_instance(&sig, n.max(k + 1), k, seed)
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn subinstance_domain_shrinks(inst in arbitrary_instance()) {
+            use std::collections::BTreeSet;
+            let keep: BTreeSet<FactId> = inst
+                .fact_ids()
+                .filter(|f| f.0 % 2 == 0)
+                .collect();
+            let sub = inst.subinstance(&keep);
+            prop_assert!(inst.includes(&sub));
+            prop_assert!(sub.fact_count() <= inst.fact_count());
+            prop_assert!(sub.domain_size() <= inst.domain_size());
+            // The identity is a homomorphism from the subinstance to the instance.
+            prop_assert!(sub.homomorphism_to(&inst).is_some());
+        }
+
+        #[test]
+        fn gaifman_graph_treewidth_bounded_for_partial_k_trees(inst in arbitrary_instance()) {
+            let (graph, domain) = inst.gaifman_graph();
+            prop_assert_eq!(domain.len(), inst.domain_size());
+            let (w, td) = treelineage_graph::treewidth::treewidth_upper_bound(&graph);
+            prop_assert!(td.validate(&graph).is_ok());
+            // Partial 2-trees have treewidth <= 2; the heuristic may lose a
+            // constant, but never exceeds the domain size.
+            prop_assert!(w < inst.domain_size().max(1));
+        }
+
+        #[test]
+        fn world_probabilities_sum_to_one(inst in arbitrary_instance()) {
+            prop_assume!(inst.fact_count() <= 10);
+            let val = ProbabilityValuation::uniform(&inst, Rational::from_ratio_u64(1, 3));
+            let mut total = Rational::zero();
+            val.for_each_world(|_, p| total += p);
+            prop_assert!(total.is_one());
+        }
+
+        #[test]
+        fn instance_isomorphic_to_itself(inst in arbitrary_instance()) {
+            prop_assume!(inst.fact_count() <= 6 && inst.domain_size() <= 6);
+            prop_assert!(inst.isomorphic_to(&inst));
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Relational signatures (Section 2 of the paper).
+//!
+//! A signature is a finite set of relation names, each with a positive arity.
+//! A signature is *arity-k* if `k` is the maximum arity; most of the paper's
+//! dichotomies are stated for arity-2 signatures, which we can test with
+//! [`Signature::is_arity_two`].
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of a relation within a [`Signature`] (a dense index).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RelationId(pub usize);
+
+/// A relation symbol: a name and an arity.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Relation {
+    name: String,
+    arity: usize,
+}
+
+impl Relation {
+    /// The relation's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The relation's arity (always at least 1).
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+}
+
+/// A relational signature. Cheap to clone (the relation list is shared).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Signature {
+    relations: Arc<Vec<Relation>>,
+}
+
+impl Signature {
+    /// Starts building a signature.
+    pub fn builder() -> SignatureBuilder {
+        SignatureBuilder {
+            relations: Vec::new(),
+        }
+    }
+
+    /// The standard graph signature: a single binary relation `E`
+    /// (Section 2, "Graphs").
+    pub fn graph() -> Self {
+        Signature::builder().relation("E", 2).build()
+    }
+
+    /// Number of relations.
+    pub fn relation_count(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// All relations in declaration order.
+    pub fn relations(&self) -> impl Iterator<Item = (RelationId, &Relation)> {
+        self.relations
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RelationId(i), r))
+    }
+
+    /// The relation with the given id.
+    pub fn relation(&self, id: RelationId) -> &Relation {
+        &self.relations[id.0]
+    }
+
+    /// Looks a relation up by name.
+    pub fn relation_by_name(&self, name: &str) -> Option<RelationId> {
+        self.relations
+            .iter()
+            .position(|r| r.name == name)
+            .map(RelationId)
+    }
+
+    /// The arity of the relation with the given id.
+    pub fn arity(&self, id: RelationId) -> usize {
+        self.relations[id.0].arity
+    }
+
+    /// The maximum arity over all relations (0 for the empty signature).
+    pub fn max_arity(&self) -> usize {
+        self.relations.iter().map(|r| r.arity).max().unwrap_or(0)
+    }
+
+    /// Returns `true` if the signature is arity-2 (max arity exactly 2), the
+    /// setting of the paper's dichotomy results.
+    pub fn is_arity_two(&self) -> bool {
+        self.max_arity() == 2
+    }
+
+    /// The binary relations of the signature.
+    pub fn binary_relations(&self) -> Vec<RelationId> {
+        self.relations()
+            .filter(|(_, r)| r.arity() == 2)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// The unary relations of the signature.
+    pub fn unary_relations(&self) -> Vec<RelationId> {
+        self.relations()
+            .filter(|(_, r)| r.arity() == 1)
+            .map(|(id, _)| id)
+            .collect()
+    }
+}
+
+impl fmt::Display for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self
+            .relations
+            .iter()
+            .map(|r| format!("{}/{}", r.name, r.arity))
+            .collect();
+        write!(f, "{{{}}}", parts.join(", "))
+    }
+}
+
+/// Builder for [`Signature`].
+pub struct SignatureBuilder {
+    relations: Vec<Relation>,
+}
+
+impl SignatureBuilder {
+    /// Adds a relation. Panics on duplicate names or zero arity.
+    pub fn relation(mut self, name: &str, arity: usize) -> Self {
+        assert!(arity >= 1, "relations must have positive arity");
+        assert!(
+            !self.relations.iter().any(|r| r.name == name),
+            "duplicate relation name {name:?}"
+        );
+        self.relations.push(Relation {
+            name: name.to_string(),
+            arity,
+        });
+        self
+    }
+
+    /// Finishes the signature.
+    pub fn build(self) -> Signature {
+        Signature {
+            relations: Arc::new(self.relations),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_lookup() {
+        let sig = Signature::builder()
+            .relation("R", 2)
+            .relation("S", 2)
+            .relation("L", 1)
+            .build();
+        assert_eq!(sig.relation_count(), 3);
+        let r = sig.relation_by_name("R").unwrap();
+        assert_eq!(sig.arity(r), 2);
+        assert_eq!(sig.relation(r).name(), "R");
+        assert!(sig.relation_by_name("T").is_none());
+        assert_eq!(sig.max_arity(), 2);
+        assert!(sig.is_arity_two());
+        assert_eq!(sig.binary_relations().len(), 2);
+        assert_eq!(sig.unary_relations().len(), 1);
+    }
+
+    #[test]
+    fn graph_signature() {
+        let sig = Signature::graph();
+        assert_eq!(sig.relation_count(), 1);
+        assert_eq!(sig.relation(RelationId(0)).name(), "E");
+        assert!(sig.is_arity_two());
+        assert_eq!(sig.to_string(), "{E/2}");
+    }
+
+    #[test]
+    fn higher_arity_signature_is_not_arity_two() {
+        let sig = Signature::builder().relation("T", 3).build();
+        assert!(!sig.is_arity_two());
+        assert_eq!(sig.max_arity(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_relation_panics() {
+        let _ = Signature::builder().relation("R", 1).relation("R", 2).build();
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_arity_panics() {
+        let _ = Signature::builder().relation("R", 0).build();
+    }
+}

@@ -1,0 +1,111 @@
+//! Exact arbitrary-precision arithmetic for the `treelineage` workspace.
+//!
+//! The paper's tractability results are stated in "ra-linear" time: linear
+//! time up to the (polynomial) cost of arithmetic operations on exact rational
+//! numbers (Theorem 3.2). This crate provides the number types used by
+//! probability evaluation, weighted model counting and match counting:
+//!
+//! * [`BigUint`] — arbitrary-precision unsigned integers (model counts can be
+//!   as large as `2^{|I|}`),
+//! * [`BigInt`] — signed integers,
+//! * [`Rational`] — exact rationals in lowest terms (probabilities are given
+//!   as numerator/denominator pairs, footnote 1 of the paper).
+//!
+//! The implementation is deliberately simple (schoolbook multiplication,
+//! binary long division): the experiments run on instances of a few thousand
+//! facts, where these routines are nowhere near the bottleneck, and keeping
+//! the crate dependency-free makes the workspace self-contained.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bigint;
+mod biguint;
+mod rational;
+
+pub use bigint::{BigInt, Sign};
+pub use biguint::BigUint;
+pub use rational::Rational;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn biguint_add_matches_u128(a in 0u64..u64::MAX, b in 0u64..u64::MAX) {
+            let sum = &BigUint::from_u64(a) + &BigUint::from_u64(b);
+            prop_assert_eq!(sum.to_u128(), Some(a as u128 + b as u128));
+        }
+
+        #[test]
+        fn biguint_mul_matches_u128(a in 0u64..u64::MAX, b in 0u64..u64::MAX) {
+            let prod = &BigUint::from_u64(a) * &BigUint::from_u64(b);
+            prop_assert_eq!(prod.to_u128(), Some(a as u128 * b as u128));
+        }
+
+        #[test]
+        fn biguint_div_rem_invariant(a in 0u128..u128::MAX, b in 1u64..u64::MAX) {
+            let a_big = BigUint::from_u128(a);
+            let b_big = BigUint::from_u64(b);
+            let (q, r) = a_big.div_rem(&b_big);
+            prop_assert!(r < b_big);
+            prop_assert_eq!(&(&q * &b_big) + &r, a_big);
+        }
+
+        #[test]
+        fn biguint_decimal_roundtrip(a in 0u128..u128::MAX) {
+            let v = BigUint::from_u128(a);
+            let s = v.to_decimal_string();
+            prop_assert_eq!(BigUint::from_decimal_str(&s), Some(v));
+            prop_assert_eq!(s, a.to_string());
+        }
+
+        #[test]
+        fn bigint_add_sub_matches_i128(a in i64::MIN/2..i64::MAX/2, b in i64::MIN/2..i64::MAX/2) {
+            let x = BigInt::from_i64(a);
+            let y = BigInt::from_i64(b);
+            prop_assert_eq!((&x + &y).to_i64(), Some(a + b));
+            prop_assert_eq!((&x - &y).to_i64(), Some(a - b));
+        }
+
+        #[test]
+        fn rational_field_axioms(an in -1000i64..1000, ad in 1u64..1000,
+                                 bn in -1000i64..1000, bd in 1u64..1000,
+                                 cn in -1000i64..1000, cd in 1u64..1000) {
+            let a = Rational::from_ratio_i64(an, ad);
+            let b = Rational::from_ratio_i64(bn, bd);
+            let c = Rational::from_ratio_i64(cn, cd);
+            // Commutativity and associativity.
+            prop_assert_eq!(&a + &b, &b + &a);
+            prop_assert_eq!(&a * &b, &b * &a);
+            prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+            prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+            // Distributivity.
+            prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+            // Additive inverse.
+            prop_assert!((&a - &a).is_zero());
+        }
+
+        #[test]
+        fn rational_div_inverts_mul(an in -1000i64..1000, ad in 1u64..1000,
+                                    bn in 1i64..1000, bd in 1u64..1000) {
+            let a = Rational::from_ratio_i64(an, ad);
+            let b = Rational::from_ratio_i64(bn, bd);
+            prop_assert_eq!(&(&a * &b) / &b, a);
+        }
+
+        #[test]
+        fn rational_cmp_matches_f64(an in -1000i64..1000, ad in 1u64..1000,
+                                    bn in -1000i64..1000, bd in 1u64..1000) {
+            let a = Rational::from_ratio_i64(an, ad);
+            let b = Rational::from_ratio_i64(bn, bd);
+            let fa = an as f64 / ad as f64;
+            let fb = bn as f64 / bd as f64;
+            if (fa - fb).abs() > 1e-9 {
+                prop_assert_eq!(a < b, fa < fb);
+            }
+        }
+    }
+}

@@ -1,0 +1,463 @@
+//! Exact rational numbers.
+//!
+//! Definition 3.1 of the paper represents probabilities as pairs
+//! numerator/denominator; the "ra-linear" complexity measure counts arithmetic
+//! operations on such rationals at unit cost. [`Rational`] is the exact
+//! number type threaded through probability evaluation, weighted model
+//! counting, and match counting.
+
+use crate::bigint::BigInt;
+use crate::biguint::BigUint;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub};
+
+/// An exact rational number, kept in lowest terms with a positive denominator.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rational {
+    numerator: BigInt,
+    denominator: BigUint,
+}
+
+impl Rational {
+    /// The value 0.
+    pub fn zero() -> Self {
+        Rational {
+            numerator: BigInt::zero(),
+            denominator: BigUint::one(),
+        }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        Rational {
+            numerator: BigInt::one(),
+            denominator: BigUint::one(),
+        }
+    }
+
+    /// The value 1/2, the valuation used when relating probability evaluation
+    /// to model counting (footnote 3 of the paper).
+    pub fn one_half() -> Self {
+        Rational::from_ratio_u64(1, 2)
+    }
+
+    /// Builds `n/d` from machine integers. Panics if `d == 0`.
+    pub fn from_ratio_u64(n: u64, d: u64) -> Self {
+        assert!(d != 0, "zero denominator");
+        Rational::new(BigInt::from_u64(n), BigUint::from_u64(d))
+    }
+
+    /// Builds `n/d` from a signed numerator and unsigned denominator.
+    /// Panics if `d == 0`.
+    pub fn from_ratio_i64(n: i64, d: u64) -> Self {
+        assert!(d != 0, "zero denominator");
+        Rational::new(BigInt::from_i64(n), BigUint::from_u64(d))
+    }
+
+    /// Builds an integer-valued rational.
+    pub fn from_integer(n: BigInt) -> Self {
+        Rational {
+            numerator: n,
+            denominator: BigUint::one(),
+        }
+    }
+
+    /// Builds a non-negative integer-valued rational from a [`BigUint`].
+    pub fn from_biguint(n: BigUint) -> Self {
+        Rational::from_integer(BigInt::from_biguint(n))
+    }
+
+    /// Builds a rational from an arbitrary numerator and denominator,
+    /// normalizing sign and reducing to lowest terms. Panics if `d == 0`.
+    pub fn new(n: BigInt, d: BigUint) -> Self {
+        assert!(!d.is_zero(), "zero denominator");
+        let mut out = Rational {
+            numerator: n,
+            denominator: d,
+        };
+        out.reduce();
+        out
+    }
+
+    /// Exact conversion from an `f64` that is a dyadic rational produced by
+    /// ordinary probability inputs (e.g. `0.5`, `0.25`). Returns `None` for
+    /// NaN or infinite values.
+    pub fn from_f64_dyadic(v: f64) -> Option<Self> {
+        if !v.is_finite() {
+            return None;
+        }
+        if v == 0.0 {
+            return Some(Rational::zero());
+        }
+        // Decompose v = mantissa * 2^exp exactly.
+        let bits = v.to_bits();
+        let sign = if bits >> 63 == 1 { -1i64 } else { 1 };
+        let exponent = ((bits >> 52) & 0x7FF) as i64;
+        let fraction = bits & 0xF_FFFF_FFFF_FFFF;
+        let (mantissa, exp) = if exponent == 0 {
+            (fraction, -1074i64)
+        } else {
+            (fraction | (1 << 52), exponent - 1075)
+        };
+        let m = BigUint::from_u64(mantissa);
+        let mut out = if exp >= 0 {
+            Rational::from_biguint(&m * &BigUint::pow2(exp as usize))
+        } else {
+            Rational::new(BigInt::from_biguint(m), BigUint::pow2((-exp) as usize))
+        };
+        if sign < 0 {
+            out = -out;
+        }
+        Some(out)
+    }
+
+    /// The numerator (signed, in lowest terms).
+    pub fn numerator(&self) -> &BigInt {
+        &self.numerator
+    }
+
+    /// The denominator (positive, in lowest terms).
+    pub fn denominator(&self) -> &BigUint {
+        &self.denominator
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.numerator.is_zero()
+    }
+
+    /// Returns `true` if the value is one.
+    pub fn is_one(&self) -> bool {
+        self.denominator.is_one() && self.numerator == BigInt::one()
+    }
+
+    /// Returns `true` if the value lies in the closed interval [0, 1]
+    /// (i.e. it is a valid probability).
+    pub fn is_probability(&self) -> bool {
+        !self.numerator.is_negative() && self.numerator.magnitude() <= &self.denominator
+    }
+
+    /// `1 - self`; the probability of the complementary event.
+    pub fn complement(&self) -> Self {
+        &Rational::one() - self
+    }
+
+    /// Approximate conversion to `f64`.
+    pub fn to_f64(&self) -> f64 {
+        // Scale to keep precision when both sides are huge.
+        let n_bits = self.numerator.magnitude().bits();
+        let d_bits = self.denominator.bits();
+        if n_bits < 900 && d_bits < 900 {
+            return self.numerator.to_f64() / self.denominator.to_f64();
+        }
+        let shift = n_bits.max(d_bits).saturating_sub(512);
+        let n = self.numerator.magnitude() >> shift;
+        let d = &self.denominator >> shift;
+        let approx = n.to_f64() / d.to_f64();
+        if self.numerator.is_negative() {
+            -approx
+        } else {
+            approx
+        }
+    }
+
+    /// Multiplicative inverse. Panics if the value is zero.
+    pub fn reciprocal(&self) -> Self {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        let sign = self.numerator.sign();
+        let n = BigInt::from_sign_magnitude(sign, self.denominator.clone());
+        Rational::new(n, self.numerator.magnitude().clone())
+    }
+
+    /// `self^exp` for a machine-sized exponent.
+    pub fn pow(&self, exp: u32) -> Self {
+        let mut acc = Rational::one();
+        for _ in 0..exp {
+            acc = &acc * self;
+        }
+        acc
+    }
+
+    fn reduce(&mut self) {
+        if self.numerator.is_zero() {
+            self.denominator = BigUint::one();
+            return;
+        }
+        let g = self.numerator.magnitude().gcd(&self.denominator);
+        if !g.is_one() {
+            let (n, _) = self.numerator.magnitude().div_rem(&g);
+            let (d, _) = self.denominator.div_rem(&g);
+            self.numerator = BigInt::from_sign_magnitude(self.numerator.sign(), n);
+            self.denominator = d;
+        }
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::zero()
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rational({})", self)
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.denominator.is_one() {
+            write!(f, "{}", self.numerator)
+        } else {
+            write!(f, "{}/{}", self.numerator, self.denominator)
+        }
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b cmp c/d  <=>  a*d cmp c*b   (b, d > 0)
+        let lhs = &self.numerator * &BigInt::from_biguint(other.denominator.clone());
+        let rhs = &other.numerator * &BigInt::from_biguint(self.denominator.clone());
+        lhs.cmp(&rhs)
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            numerator: -self.numerator,
+            denominator: self.denominator,
+        }
+    }
+}
+
+impl Add<&Rational> for &Rational {
+    type Output = Rational;
+    fn add(self, rhs: &Rational) -> Rational {
+        let n = &(&self.numerator * &BigInt::from_biguint(rhs.denominator.clone()))
+            + &(&rhs.numerator * &BigInt::from_biguint(self.denominator.clone()));
+        let d = &self.denominator * &rhs.denominator;
+        Rational::new(n, d)
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        &self + &rhs
+    }
+}
+
+impl AddAssign<&Rational> for Rational {
+    fn add_assign(&mut self, rhs: &Rational) {
+        *self = &*self + rhs;
+    }
+}
+
+impl Sub<&Rational> for &Rational {
+    type Output = Rational;
+    fn sub(self, rhs: &Rational) -> Rational {
+        self + &(-rhs.clone())
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        &self - &rhs
+    }
+}
+
+impl Mul<&Rational> for &Rational {
+    type Output = Rational;
+    fn mul(self, rhs: &Rational) -> Rational {
+        let n = &self.numerator * &rhs.numerator;
+        let d = &self.denominator * &rhs.denominator;
+        Rational::new(n, d)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        &self * &rhs
+    }
+}
+
+impl MulAssign<&Rational> for Rational {
+    fn mul_assign(&mut self, rhs: &Rational) {
+        *self = &*self * rhs;
+    }
+}
+
+impl Div<&Rational> for &Rational {
+    type Output = Rational;
+    fn div(self, rhs: &Rational) -> Rational {
+        self * &rhs.reciprocal()
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    fn div(self, rhs: Rational) -> Rational {
+        &self / &rhs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_reduces() {
+        let r = Rational::from_ratio_u64(6, 8);
+        assert_eq!(r.numerator().to_i64(), Some(3));
+        assert_eq!(r.denominator().to_u64(), Some(4));
+        let z = Rational::from_ratio_i64(0, 17);
+        assert!(z.is_zero());
+        assert_eq!(z.denominator().to_u64(), Some(1));
+    }
+
+    #[test]
+    fn arithmetic_small() {
+        let a = Rational::from_ratio_u64(1, 3);
+        let b = Rational::from_ratio_u64(1, 6);
+        assert_eq!(&a + &b, Rational::from_ratio_u64(1, 2));
+        assert_eq!(&a - &b, Rational::from_ratio_u64(1, 6));
+        assert_eq!(&a * &b, Rational::from_ratio_u64(1, 18));
+        assert_eq!(&a / &b, Rational::from_ratio_u64(2, 1));
+    }
+
+    #[test]
+    fn negative_values() {
+        let a = Rational::from_ratio_i64(-1, 2);
+        let b = Rational::from_ratio_u64(1, 4);
+        assert_eq!(&a + &b, Rational::from_ratio_i64(-1, 4));
+        assert_eq!(&a * &b, Rational::from_ratio_i64(-1, 8));
+        assert!(a < b);
+        assert!(!a.is_probability());
+    }
+
+    #[test]
+    fn probability_range() {
+        assert!(Rational::zero().is_probability());
+        assert!(Rational::one().is_probability());
+        assert!(Rational::one_half().is_probability());
+        assert!(!Rational::from_ratio_u64(3, 2).is_probability());
+    }
+
+    #[test]
+    fn complement() {
+        assert_eq!(
+            Rational::from_ratio_u64(1, 4).complement(),
+            Rational::from_ratio_u64(3, 4)
+        );
+        assert_eq!(Rational::one().complement(), Rational::zero());
+    }
+
+    #[test]
+    fn reciprocal_and_pow() {
+        assert_eq!(
+            Rational::from_ratio_u64(2, 5).reciprocal(),
+            Rational::from_ratio_u64(5, 2)
+        );
+        assert_eq!(
+            Rational::one_half().pow(10),
+            Rational::from_ratio_u64(1, 1024)
+        );
+        assert_eq!(Rational::from_ratio_u64(7, 3).pow(0), Rational::one());
+    }
+
+    #[test]
+    #[should_panic]
+    fn reciprocal_of_zero_panics() {
+        let _ = Rational::zero().reciprocal();
+    }
+
+    #[test]
+    fn from_f64_dyadic_exact() {
+        assert_eq!(
+            Rational::from_f64_dyadic(0.5).unwrap(),
+            Rational::one_half()
+        );
+        assert_eq!(
+            Rational::from_f64_dyadic(0.25).unwrap(),
+            Rational::from_ratio_u64(1, 4)
+        );
+        assert_eq!(
+            Rational::from_f64_dyadic(-1.5).unwrap(),
+            Rational::from_ratio_i64(-3, 2)
+        );
+        assert_eq!(Rational::from_f64_dyadic(0.0).unwrap(), Rational::zero());
+        assert_eq!(Rational::from_f64_dyadic(3.0).unwrap(), Rational::from_ratio_u64(3, 1));
+        assert!(Rational::from_f64_dyadic(f64::NAN).is_none());
+        assert!(Rational::from_f64_dyadic(f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn to_f64_roundtrip() {
+        for (n, d) in [(1u64, 2u64), (3, 4), (7, 8), (1, 1), (0, 1), (5, 16)] {
+            let r = Rational::from_ratio_u64(n, d);
+            assert!((r.to_f64() - n as f64 / d as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ordering() {
+        let vals: Vec<Rational> = [(1i64, 3u64), (1, 2), (2, 3), (-1, 2), (0, 1)]
+            .iter()
+            .map(|&(n, d)| Rational::from_ratio_i64(n, d))
+            .collect();
+        let as_f64: Vec<f64> = vals.iter().map(|r| r.to_f64()).collect();
+        for i in 0..vals.len() {
+            for j in 0..vals.len() {
+                assert_eq!(
+                    vals[i].cmp(&vals[j]),
+                    as_f64[i].partial_cmp(&as_f64[j]).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rational::from_ratio_u64(3, 4).to_string(), "3/4");
+        assert_eq!(Rational::from_ratio_u64(4, 2).to_string(), "2");
+        assert_eq!(Rational::from_ratio_i64(-3, 9).to_string(), "-1/3");
+    }
+
+    #[test]
+    fn sum_of_possible_world_probabilities_is_one() {
+        // Sanity check of the TID semantics at the arithmetic level: with
+        // three facts of probability 1/2, 1/3, 2/5 the 8 world probabilities
+        // sum to 1.
+        let probs = [
+            Rational::one_half(),
+            Rational::from_ratio_u64(1, 3),
+            Rational::from_ratio_u64(2, 5),
+        ];
+        let mut total = Rational::zero();
+        for mask in 0..8u32 {
+            let mut w = Rational::one();
+            for (i, p) in probs.iter().enumerate() {
+                if mask >> i & 1 == 1 {
+                    w = &w * p;
+                } else {
+                    w = &w * &p.complement();
+                }
+            }
+            total = &total + &w;
+        }
+        assert!(total.is_one());
+    }
+}

@@ -1,0 +1,154 @@
+//! Query languages and query analysis for the `treelineage` workspace.
+//!
+//! Implements the query-side substrate of the paper: conjunctive queries with
+//! disequalities and their unions (CQ, CQ≠, UCQ, UCQ≠ — Section 2), a small
+//! textual parser, homomorphism / match / minimal-match computation, an MSO
+//! abstract syntax with a naive evaluation oracle, structural query analysis
+//! (connectivity, self-join-freeness, hierarchicality, rankedness), and the
+//! intricacy decision procedure of Lemma 8.6 that drives the OBDD
+//! meta-dichotomy of Section 8.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cq;
+pub mod intricate;
+pub mod matching;
+mod mso;
+
+pub use cq::{
+    parse_query, Atom, ConjunctiveQuery, CqBuilder, UnionOfConjunctiveQueries, Variable,
+};
+pub use mso::{odd_number_of_labels, two_distinct_unary, FoVar, MsoFormula, SetVar};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+    use treelineage_instance::{encodings, FactId, Signature};
+
+    fn sig() -> Signature {
+        Signature::builder()
+            .relation("R", 2)
+            .relation("S", 2)
+            .relation("L", 1)
+            .build()
+    }
+
+    /// Random small UCQ≠ queries over the fixed signature, built from a pool
+    /// of atom shapes.
+    fn arbitrary_query() -> impl Strategy<Value = UnionOfConjunctiveQueries> {
+        let atom_pool = [
+            ("R", vec!["x", "y"]),
+            ("S", vec!["y", "z"]),
+            ("S", vec!["x", "y"]),
+            ("R", vec!["z", "x"]),
+            ("L", vec!["x"]),
+            ("L", vec!["y"]),
+        ];
+        proptest::collection::vec(
+            (proptest::collection::vec(0usize..atom_pool.len(), 1..4), any::<bool>()),
+            1..3,
+        )
+        .prop_map(move |disjunct_specs| {
+            let signature = sig();
+            let disjuncts: Vec<ConjunctiveQuery> = disjunct_specs
+                .into_iter()
+                .map(|(atom_indices, with_diseq)| {
+                    let mut builder = ConjunctiveQuery::builder(&signature);
+                    let mut used_vars: BTreeSet<&str> = BTreeSet::new();
+                    for i in &atom_indices {
+                        let (rel, vars) = &atom_pool[*i];
+                        let var_refs: Vec<&str> = vars.iter().map(|s| &**s).collect();
+                        used_vars.extend(var_refs.iter().copied());
+                        builder = builder.atom(rel, &var_refs);
+                    }
+                    if with_diseq && used_vars.contains("x") && used_vars.contains("y") {
+                        builder = builder.disequality("x", "y");
+                    }
+                    builder.build()
+                })
+                .collect();
+            UnionOfConjunctiveQueries::new(disjuncts)
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn ucq_neq_queries_are_monotone(q in arbitrary_query(), seed in 0u64..1000) {
+            // Monotonicity (Section 2): adding facts can only help a UCQ≠.
+            let inst = encodings::random_treelike_instance(&sig(), 6, 2, seed);
+            if inst.fact_count() <= 12 {
+                prop_assert!(matching::check_monotone_on(&q, &inst));
+            }
+        }
+
+        #[test]
+        fn matches_are_satisfying_worlds(q in arbitrary_query(), seed in 0u64..1000) {
+            let inst = encodings::random_treelike_instance(&sig(), 7, 2, seed);
+            for m in matching::all_matches(&q, &inst) {
+                prop_assert!(matching::satisfied_in_world(&q, &inst, &m));
+            }
+            for m in matching::minimal_matches(&q, &inst) {
+                prop_assert!(matching::satisfied_in_world(&q, &inst, &m));
+            }
+        }
+
+        #[test]
+        fn satisfaction_agrees_with_match_existence(q in arbitrary_query(), seed in 0u64..1000) {
+            let inst = encodings::random_treelike_instance(&sig(), 6, 2, seed);
+            let sat = matching::satisfied(&q, &inst);
+            let has_match = !matching::all_matches(&q, &inst).is_empty();
+            prop_assert_eq!(sat, has_match);
+        }
+
+        #[test]
+        fn plain_cq_satisfaction_is_preserved_by_homomorphisms(seed in 0u64..500) {
+            // Closure under homomorphisms (Section 2) for UCQs: if I |= q and
+            // I -> I', then I' |= q. We test it with I a subinstance of I'
+            // mapped by the identity.
+            let q = parse_query(&sig(), "R(x, y), S(y, z)").unwrap();
+            let inst = encodings::random_treelike_instance(&sig(), 6, 2, seed);
+            if matching::satisfied(&q, &inst) {
+                // Identity into a superinstance.
+                let mut bigger = inst.clone();
+                bigger.add_fact_by_name("L", &[99]);
+                prop_assert!(matching::satisfied(&q, &bigger));
+            }
+        }
+
+        #[test]
+        fn line_instances_have_path_gaifman_graphs(len in 1usize..6, pick in any::<u64>()) {
+            let lines = encodings::all_line_instances(&sig(), len);
+            let line = &lines[(pick % lines.len() as u64) as usize];
+            prop_assert_eq!(line.fact_count(), len);
+            let (g, _) = line.gaifman_graph();
+            prop_assert!(g.is_tree());
+            prop_assert!(g.max_degree() <= 2);
+        }
+    }
+
+    #[test]
+    fn intricacy_decision_is_consistent_with_manual_reasoning() {
+        // A query with only "directed path" join patterns misses the
+        // head-to-head and tail-to-tail lines (and the lines mixing the two
+        // relations), so it is not 0-intricate — the decision procedure must
+        // produce a counterexample line of length 2 with no covering match.
+        let signature = Signature::builder().relation("R", 2).relation("S", 2).build();
+        let q = parse_query(
+            &signature,
+            "S(x, y), S(y, z), x != z | R(x, y), R(y, z), x != z",
+        )
+        .unwrap();
+        assert!(!intricate::is_n_intricate(&q, 0));
+        let counterexample = intricate::n_intricacy_counterexample(&q, 0).unwrap();
+        assert_eq!(counterexample.fact_count(), 2);
+        let minimal = matching::minimal_matches(&q, &counterexample);
+        assert!(minimal
+            .iter()
+            .all(|m| !(m.contains(&FactId(0)) && m.contains(&FactId(1)))));
+    }
+}

@@ -1,0 +1,46 @@
+//! The OBDD-size dichotomy of Section 8: the intricate query q_p has
+//! exploding OBDD width on unbounded-treewidth families (grids) but constant
+//! width on bounded-treewidth ones (chains); non-intricate queries are easy
+//! on some unbounded-treewidth family. Also runs the matching-counting
+//! reduction behind Theorem 4.2.
+//!
+//! Run with `cargo run --release --example obdd_dichotomy`.
+
+use treelineage_graph::generators;
+use treelineage_hardness as hardness;
+use treelineage_instance::Signature;
+use treelineage_query::intricate;
+
+fn main() {
+    let sig = Signature::builder().relation("S", 2).build();
+    let qp = hardness::qp(&sig);
+    println!("q_p = {qp}");
+    println!("q_p is 0-intricate: {}\n", intricate::is_n_intricate(&qp, 0));
+
+    println!("{:>14} {:>10} {:>12}", "instance", "facts", "OBDD width");
+    for n in [2usize, 3, 4, 5] {
+        let (w, _) = hardness::obdd_width_of_qp_on_grid(n);
+        println!("{:>14} {:>10} {:>12}", format!("{n}x{n} grid"), 2 * n * (n - 1), w);
+    }
+    for len in [20usize, 40, 80] {
+        let (w, _) = hardness::obdd_width_of_qp_on_chain(len);
+        println!("{:>14} {:>10} {:>12}", format!("chain {len}"), len, w);
+    }
+
+    println!("\nMatching-counting reduction (Theorem 4.2's engine):");
+    for (name, graph) in [
+        ("prism CL_3", generators::circular_ladder_graph(3)),
+        ("prism CL_4", generators::circular_ladder_graph(4)),
+    ] {
+        let r = hardness::matching_reduction(&graph);
+        println!(
+            "  {name}: #matchings from P(¬q_p) = {}, direct DP = {}",
+            r.matchings_from_probability, r.matchings_direct
+        );
+        assert_eq!(
+            r.matchings_from_probability.to_decimal_string(),
+            r.matchings_direct.to_decimal_string()
+        );
+    }
+    println!("\nBoth sides agree: probability evaluation of q_p counts matchings ✓");
+}

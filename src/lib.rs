@@ -1,0 +1,4 @@
+//! Umbrella package for the `treelineage` workspace: hosts the runnable
+//! examples under `examples/` and the cross-crate integration tests under
+//! `tests/`. All functionality lives in the `crates/` members; see the
+//! workspace README and DESIGN.md.
