@@ -183,8 +183,8 @@ impl TreeAutomaton {
         let mut subsets: Vec<BTreeSet<State>> = Vec::new();
         let mut index: BTreeMap<BTreeSet<State>, usize> = BTreeMap::new();
         let intern = |s: BTreeSet<State>,
-                          subsets: &mut Vec<BTreeSet<State>>,
-                          index: &mut BTreeMap<BTreeSet<State>, usize>| {
+                      subsets: &mut Vec<BTreeSet<State>>,
+                      index: &mut BTreeMap<BTreeSet<State>, usize>| {
             if let Some(&i) = index.get(&s) {
                 return i;
             }
@@ -364,12 +364,7 @@ mod tests {
     fn parity_automaton_accepts_odd_trees() {
         let a = parity_automaton(2);
         assert!(a.is_deterministic());
-        for bits in [
-            vec![1],
-            vec![0, 1, 0],
-            vec![1, 1, 1],
-            vec![0, 0, 1, 1, 1],
-        ] {
+        for bits in [vec![1], vec![0, 1, 0], vec![1, 1, 1], vec![0, 0, 1, 1, 1]] {
             let tree = leaf_word_tree(&bits);
             let ones = bits.iter().filter(|&&b| b == 1).count();
             assert_eq!(a.accepts(&tree), ones % 2 == 1, "bits {bits:?}");

@@ -26,6 +26,7 @@ use treelineage_circuit::{Circuit, GateId};
 /// If the automaton is deterministic and events control at most one node
 /// each, the resulting circuit satisfies the d-DNNF conditions
 /// (Definition 6.10); this is checked by the tests, not enforced here.
+#[allow(clippy::needless_range_loop)] // `q` is a state id, not just an index
 pub fn provenance_circuit(automaton: &TreeAutomaton, tree: &UncertainTree) -> Circuit {
     let mut circuit = Circuit::new();
     let false_gate = circuit.constant(false);
@@ -92,8 +93,7 @@ pub fn provenance_circuit(automaton: &TreeAutomaton, tree: &UncertainTree) -> Ci
                                 if !automaton.internal_states(label, ql, qr).contains(&q) {
                                     continue;
                                 }
-                                let mut conj =
-                                    vec![gates[left.0][ql], gates[right.0][qr]];
+                                let mut conj = vec![gates[left.0][ql], gates[right.0][qr]];
                                 if let Some(g) = guard {
                                     conj.push(g);
                                 }
@@ -101,10 +101,8 @@ pub fn provenance_circuit(automaton: &TreeAutomaton, tree: &UncertainTree) -> Ci
                                 if conj.contains(&false_gate) {
                                     continue;
                                 }
-                                let conj: Vec<GateId> = conj
-                                    .into_iter()
-                                    .filter(|&g| g != true_gate)
-                                    .collect();
+                                let conj: Vec<GateId> =
+                                    conj.into_iter().filter(|&g| g != true_gate).collect();
                                 let gate = match conj.len() {
                                     0 => true_gate,
                                     1 => conj[0],

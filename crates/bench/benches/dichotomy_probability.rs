@@ -46,5 +46,9 @@ fn bench_matching_reduction(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_probability_on_chains, bench_matching_reduction);
+criterion_group!(
+    benches,
+    bench_probability_on_chains,
+    bench_matching_reduction
+);
 criterion_main!(benches);

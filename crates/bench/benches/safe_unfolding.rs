@@ -6,7 +6,10 @@ use treelineage::prelude::*;
 use treelineage_safe as safe;
 
 fn bench_unfolding(c: &mut Criterion) {
-    let sig = Signature::builder().relation("R", 1).relation("S", 2).build();
+    let sig = Signature::builder()
+        .relation("R", 1)
+        .relation("S", 2)
+        .build();
     let q = parse_query(&sig, "R(x), S(x, y)").unwrap();
     let mut group = c.benchmark_group("d97_unfolding");
     group.sample_size(10);

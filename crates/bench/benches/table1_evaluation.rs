@@ -7,7 +7,10 @@ use treelineage_graph::generators;
 use treelineage_instance::encodings;
 
 fn bench_model_checking(c: &mut Criterion) {
-    let sig = Signature::builder().relation("S", 2).relation("R", 2).build();
+    let sig = Signature::builder()
+        .relation("S", 2)
+        .relation("R", 2)
+        .build();
     let q = parse_query(&sig, "S(x, y), S(y, z), x != z").unwrap();
     let mut group = c.benchmark_group("t1a_model_checking_partial_2_trees");
     group.sample_size(10);
@@ -21,7 +24,10 @@ fn bench_model_checking(c: &mut Criterion) {
 }
 
 fn bench_match_counting(c: &mut Criterion) {
-    let sig = Signature::builder().relation("E", 2).relation("Sel", 1).build();
+    let sig = Signature::builder()
+        .relation("E", 2)
+        .relation("Sel", 1)
+        .build();
     let e = sig.relation_by_name("E").unwrap();
     let q = parse_query(&sig, "E(x, y), Sel(x), Sel(y)").unwrap();
     let mut group = c.benchmark_group("t1b_match_counting_paths");

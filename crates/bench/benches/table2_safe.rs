@@ -17,7 +17,10 @@ fn star_join_instance(sig: &Signature, n: u64) -> Instance {
 }
 
 fn bench_inversion_free(c: &mut Criterion) {
-    let sig = Signature::builder().relation("R", 1).relation("S", 2).build();
+    let sig = Signature::builder()
+        .relation("R", 1)
+        .relation("S", 2)
+        .build();
     let q = parse_query(&sig, "R(x), S(x, y)").unwrap();
 
     let mut group = c.benchmark_group("t2u6_inversion_free_unfold_and_obdd");

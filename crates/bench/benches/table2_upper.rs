@@ -37,7 +37,10 @@ fn bench_bounded_pathwidth(c: &mut Criterion) {
 }
 
 fn bench_bounded_treewidth(c: &mut Criterion) {
-    let sig = Signature::builder().relation("S", 2).relation("R", 2).build();
+    let sig = Signature::builder()
+        .relation("S", 2)
+        .relation("R", 2)
+        .build();
     let q = parse_query(&sig, "S(x, y), S(y, z), x != z").unwrap();
 
     let mut group = c.benchmark_group("t2u3_bounded_treewidth_obdd");

@@ -39,7 +39,10 @@ fn table2_upper() {
         .relation("T", 1)
         .build();
     let q = parse_query(&sig, "R(x), S(x, y), T(y)").unwrap();
-    println!("{:>8} {:>10} {:>12} {:>12} {:>12}", "n", "facts", "circuit", "obdd width", "obdd size");
+    println!(
+        "{:>8} {:>10} {:>12} {:>12} {:>12}",
+        "n", "facts", "circuit", "obdd width", "obdd size"
+    );
     for n in [25usize, 50, 100, 200, 400] {
         let mut inst = Instance::new(sig.clone());
         for i in 0..n as u64 {
@@ -62,7 +65,10 @@ fn table2_upper() {
 
     // T2-U3/U4/U5: bounded treewidth -> polynomial OBDD, linear circuit, d-DNNF.
     println!("\n[T2-U3/U4/U5] random partial 2-trees, query S(x,y),S(y,z) with x != z");
-    let sig2 = Signature::builder().relation("S", 2).relation("R", 2).build();
+    let sig2 = Signature::builder()
+        .relation("S", 2)
+        .relation("R", 2)
+        .build();
     let q2 = parse_query(&sig2, "S(x, y), S(y, z), x != z").unwrap();
     println!(
         "{:>8} {:>10} {:>12} {:>12} {:>12} {:>12}",
@@ -84,9 +90,15 @@ fn table2_upper() {
 
     // T2-U6: inversion-free UCQ on arbitrary instances via unfolding.
     println!("\n[T2-U6] inversion-free UCQ R(x),S(x,y) on dense instances: OBDD width before/after unfolding");
-    let sig3 = Signature::builder().relation("R", 1).relation("S", 2).build();
+    let sig3 = Signature::builder()
+        .relation("R", 1)
+        .relation("S", 2)
+        .build();
     let q3 = parse_query(&sig3, "R(x), S(x, y)").unwrap();
-    println!("{:>8} {:>10} {:>14} {:>14} {:>12}", "n", "facts", "width (orig)", "width (unfold)", "tree-depth");
+    println!(
+        "{:>8} {:>10} {:>14} {:>14} {:>12}",
+        "n", "facts", "width (orig)", "width (unfold)", "tree-depth"
+    );
     for n in [3u64, 6, 9, 12] {
         let mut inst = Instance::new(sig3.clone());
         for a in 1..=n {
@@ -168,7 +180,9 @@ fn table2_lower() {
             parity_formula(&vars).leaf_size()
         );
     }
-    println!("\n(reference growth rates: thr2 formula ~ n log n vs Omega(n log log n) lower bound;");
+    println!(
+        "\n(reference growth rates: thr2 formula ~ n log n vs Omega(n log log n) lower bound;"
+    );
     println!(" parity formula = n^2 vs Omega(n^2) lower bound; circuits stay linear)");
 
     println!("\n[T2-L4] Datalog: transitive-closure provenance, circuit vs unfolded formula");
@@ -195,11 +209,21 @@ fn table2_lower() {
 }
 
 fn table1_and_counting() {
-    header("Table 1 / Theorems 5.2, 5.7: evaluation and counting on bounded vs unbounded treewidth");
-    println!("\n[T1-A] model checking and probability on partial 2-trees (times in ms, single run)");
-    let sig = Signature::builder().relation("S", 2).relation("R", 2).build();
+    header(
+        "Table 1 / Theorems 5.2, 5.7: evaluation and counting on bounded vs unbounded treewidth",
+    );
+    println!(
+        "\n[T1-A] model checking and probability on partial 2-trees (times in ms, single run)"
+    );
+    let sig = Signature::builder()
+        .relation("S", 2)
+        .relation("R", 2)
+        .build();
     let q = parse_query(&sig, "S(x, y), S(y, z), x != z").unwrap();
-    println!("{:>8} {:>10} {:>14} {:>16}", "n", "facts", "model check", "probability");
+    println!(
+        "{:>8} {:>10} {:>14} {:>16}",
+        "n", "facts", "model check", "probability"
+    );
     for n in [50usize, 100, 200, 400] {
         let inst = encodings::random_treelike_instance(&sig, n, 2, 11);
         let valuation = ProbabilityValuation::all_one_half(&inst);
@@ -220,11 +244,19 @@ fn table1_and_counting() {
         );
     }
 
-    println!("\n[T1-B] match counting (selection subsets with an internal edge) vs independent-set DP");
-    let selsig = Signature::builder().relation("E", 2).relation("Sel", 1).build();
+    println!(
+        "\n[T1-B] match counting (selection subsets with an internal edge) vs independent-set DP"
+    );
+    let selsig = Signature::builder()
+        .relation("E", 2)
+        .relation("Sel", 1)
+        .build();
     let e = selsig.relation_by_name("E").unwrap();
     let qc = parse_query(&selsig, "E(x, y), Sel(x), Sel(y)").unwrap();
-    println!("{:>8} {:>22} {:>22}", "n", "non-independent sets", "independent sets");
+    println!(
+        "{:>8} {:>22} {:>22}",
+        "n", "non-independent sets", "independent sets"
+    );
     for n in [6usize, 10, 14, 18] {
         let graph = generators::path_graph(n);
         let inst = encodings::graph_instance(&graph, &selsig, e);
@@ -244,7 +276,10 @@ fn dichotomies() {
     header("Dichotomy experiments (Theorems 4.2, 8.1, 8.7, 9.7)");
 
     println!("\n[D-4.2b] #matchings of 3-regular (planar) graphs via probability of q_p (all-1/2 valuation)");
-    println!("{:>20} {:>8} {:>18} {:>18}", "graph", "edges", "from probability", "direct DP");
+    println!(
+        "{:>20} {:>8} {:>18} {:>18}",
+        "graph", "edges", "from probability", "direct DP"
+    );
     for (name, graph) in [
         ("prism CL_3", generators::circular_ladder_graph(3)),
         ("prism CL_4", generators::circular_ladder_graph(4)),
@@ -265,7 +300,12 @@ fn dichotomies() {
     println!("{:>14} {:>10} {:>12}", "instance", "facts", "obdd width");
     for n in [2usize, 3, 4, 5] {
         let (w, _) = hardness::obdd_width_of_qp_on_grid(n);
-        println!("{:>14} {:>10} {:>12}", format!("{n}x{n} grid"), 2 * n * (n - 1), w);
+        println!(
+            "{:>14} {:>10} {:>12}",
+            format!("{n}x{n} grid"),
+            2 * n * (n - 1),
+            w
+        );
     }
     for len in [20usize, 40, 80] {
         let (w, _) = hardness::obdd_width_of_qp_on_chain(len);
@@ -282,7 +322,10 @@ fn dichotomies() {
     let qp = hardness::qp(&single);
     let unsafe_q = parse_query(&rst, "R(x), S(x, y), T(y)").unwrap();
     let cq_neq = parse_query(&single, "S(x, y), S(y, z), x != z").unwrap();
-    println!("  q_p intricate (0-intricate): {}", intricate::is_n_intricate(&qp, 0));
+    println!(
+        "  q_p intricate (0-intricate): {}",
+        intricate::is_n_intricate(&qp, 0)
+    );
     println!(
         "  R(x),S(x,y),T(y) intricate:  {}",
         intricate::is_intricate(&unsafe_q)
@@ -311,9 +354,15 @@ fn dichotomies() {
     }
 
     println!("\n[D-9.7] unfolding of inversion-free UCQs (see T2-U6 above for widths/tree-depth)");
-    let sig3 = Signature::builder().relation("R", 1).relation("S", 2).build();
+    let sig3 = Signature::builder()
+        .relation("R", 1)
+        .relation("S", 2)
+        .build();
     let q3 = parse_query(&sig3, "R(x), S(x, y)").unwrap();
-    println!("  R(x),S(x,y) inversion-free:      {}", safe::is_inversion_free(&q3));
+    println!(
+        "  R(x),S(x,y) inversion-free:      {}",
+        safe::is_inversion_free(&q3)
+    );
     let rst_q = parse_query(&rst, "R(x), S(x, y), T(y)").unwrap();
     println!(
         "  R(x),S(x,y),T(y) inversion-free: {}",

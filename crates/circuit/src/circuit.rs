@@ -390,7 +390,10 @@ impl Circuit {
             .union(&other.variables())
             .copied()
             .collect();
-        assert!(vars.len() <= 20, "equivalence check limited to 20 variables");
+        assert!(
+            vars.len() <= 20,
+            "equivalence check limited to 20 variables"
+        );
         for mask in 0u64..(1u64 << vars.len()) {
             let true_vars: BTreeSet<VarId> = vars
                 .iter()
@@ -408,7 +411,10 @@ impl Circuit {
     /// The number of satisfying assignments over the given variable universe
     /// (brute force; oracle for tests). Panics above 20 variables.
     pub fn count_models_bruteforce(&self, universe: &[VarId]) -> u64 {
-        assert!(universe.len() <= 20, "model counting limited to 20 variables");
+        assert!(
+            universe.len() <= 20,
+            "model counting limited to 20 variables"
+        );
         let mut count = 0;
         for mask in 0u64..(1u64 << universe.len()) {
             let true_vars: BTreeSet<VarId> = universe

@@ -73,7 +73,10 @@ impl Dnnf {
         // Determinism: for every OR gate, no assignment makes two distinct
         // children true simultaneously.
         let vars: Vec<VarId> = circuit.variables().into_iter().collect();
-        assert!(vars.len() <= 20, "exhaustive determinism check limited to 20 variables");
+        assert!(
+            vars.len() <= 20,
+            "exhaustive determinism check limited to 20 variables"
+        );
         for mask in 0u64..(1u64 << vars.len()) {
             let true_vars: BTreeSet<VarId> = vars
                 .iter()
@@ -170,16 +173,11 @@ impl Dnnf {
     }
 }
 
-fn check_syntactic(
-    circuit: &Circuit,
-    dependencies: &[BTreeSet<VarId>],
-) -> Result<(), DnnfError> {
+fn check_syntactic(circuit: &Circuit, dependencies: &[BTreeSet<VarId>]) -> Result<(), DnnfError> {
     for id in circuit.gate_ids() {
         match circuit.gate(id) {
-            Gate::Not(i) => {
-                if !matches!(circuit.gate(*i), Gate::Var(_) | Gate::Const(_)) {
-                    return Err(DnnfError::NegationOnInternalGate(id));
-                }
+            Gate::Not(i) if !matches!(circuit.gate(*i), Gate::Var(_) | Gate::Const(_)) => {
+                return Err(DnnfError::NegationOnInternalGate(id));
             }
             Gate::And(inputs) => {
                 // Children must have pairwise disjoint dependency sets.

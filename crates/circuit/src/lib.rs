@@ -32,9 +32,7 @@ pub use formula::{
     threshold2_formula_naive, Formula,
 };
 pub use obdd::{Obdd, Ref};
-pub use probability::{
-    probability_bruteforce, probability_message_passing, MessagePassingError,
-};
+pub use probability::{probability_bruteforce, probability_message_passing, MessagePassingError};
 
 #[cfg(test)]
 mod proptests {

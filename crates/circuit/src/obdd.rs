@@ -252,7 +252,10 @@ impl Obdd {
     /// as a cross-check on small inputs that the apply-based construction
     /// yields the same canonical diagram.
     pub fn from_circuit_level_by_level(circuit: &Circuit, order: Vec<VarId>) -> Obdd {
-        assert!(order.len() <= 20, "level-by-level construction limited to 20 variables");
+        assert!(
+            order.len() <= 20,
+            "level-by-level construction limited to 20 variables"
+        );
         let mut obdd = Obdd::new(order.clone());
         // Recursive canonical construction by Shannon expansion along the
         // order, memoized on the truth table of the residual function — this

@@ -23,7 +23,10 @@ use treelineage_num::Rational;
 /// number of variables; panics above 20.
 pub fn probability_bruteforce(circuit: &Circuit, prob: &dyn Fn(VarId) -> Rational) -> Rational {
     let vars: Vec<VarId> = circuit.variables().into_iter().collect();
-    assert!(vars.len() <= 20, "brute-force probability limited to 20 variables");
+    assert!(
+        vars.len() <= 20,
+        "brute-force probability limited to 20 variables"
+    );
     let mut total = Rational::zero();
     for mask in 0u64..(1u64 << vars.len()) {
         let true_vars: BTreeSet<VarId> = vars
@@ -377,8 +380,7 @@ mod tests {
             }
             prev = Some(bag);
         }
-        let result =
-            probability_message_passing(&c, &td, &|_| Rational::one_half());
+        let result = probability_message_passing(&c, &td, &|_| Rational::one_half());
         assert_eq!(
             result.unwrap_err(),
             MessagePassingError::GateFamilyNotCovered(GateId(6))
@@ -407,15 +409,19 @@ mod tests {
         let t = c.constant(true);
         c.set_output(t);
         let (_, td) = treewidth::treewidth_upper_bound(&c.gate_graph());
-        assert!(probability_message_passing(&c, &td, &|_| Rational::one_half())
-            .unwrap()
-            .is_one());
+        assert!(
+            probability_message_passing(&c, &td, &|_| Rational::one_half())
+                .unwrap()
+                .is_one()
+        );
         let mut c0 = Circuit::new();
         let f = c0.constant(false);
         c0.set_output(f);
         let (_, td0) = treewidth::treewidth_upper_bound(&c0.gate_graph());
-        assert!(probability_message_passing(&c0, &td0, &|_| Rational::one_half())
-            .unwrap()
-            .is_zero());
+        assert!(
+            probability_message_passing(&c0, &td0, &|_| Rational::one_half())
+                .unwrap()
+                .is_zero()
+        );
     }
 }

@@ -1,0 +1,141 @@
+//! OBDD structural invariants (Definition 6.4): reducedness, agreement of
+//! `evaluate_set` with `probability` at the all-1/2 valuation, and width
+//! behaviour on the chain instances of `tests/end_to_end.rs`.
+
+use std::collections::{BTreeSet, HashSet};
+use treelineage::LineageBuilder;
+use treelineage_circuit::{parity_circuit, threshold2_circuit, Obdd, Ref, VarId};
+use treelineage_instance::{Instance, Signature};
+use treelineage_num::Rational;
+use treelineage_query::parse_query;
+
+/// The chain instance R(i), S(i, i+1), T(i+1) for i < n (pathwidth 1), as in
+/// `tests/end_to_end.rs` and the bench harness.
+fn chain_instance(n: usize) -> (Signature, Instance) {
+    let sig = Signature::builder()
+        .relation("R", 1)
+        .relation("S", 2)
+        .relation("T", 1)
+        .build();
+    let mut inst = Instance::new(sig.clone());
+    for i in 0..n as u64 {
+        inst.add_fact_by_name("R", &[i]);
+        inst.add_fact_by_name("S", &[i, i + 1]);
+        inst.add_fact_by_name("T", &[i + 1]);
+    }
+    (sig, inst)
+}
+
+/// The OBDD of the chain query's lineage on the chain instance of length `n`.
+fn chain_obdd(n: usize) -> Obdd {
+    let (sig, inst) = chain_instance(n);
+    let q = parse_query(&sig, "R(x), S(x, y), T(y)").unwrap();
+    LineageBuilder::new(&q, &inst).unwrap().obdd()
+}
+
+/// All internal nodes reachable from the root.
+fn reachable_nodes(obdd: &Obdd) -> Vec<(Ref, (VarId, Ref, Ref))> {
+    let mut seen: HashSet<Ref> = HashSet::new();
+    let mut stack = vec![obdd.root()];
+    let mut nodes = Vec::new();
+    while let Some(r) = stack.pop() {
+        if !seen.insert(r) {
+            continue;
+        }
+        if let Some((var, lo, hi)) = obdd.decision_parts(r) {
+            nodes.push((r, (var, lo, hi)));
+            stack.push(lo);
+            stack.push(hi);
+        }
+    }
+    nodes
+}
+
+/// Reducedness: no redundant node (equal children) and no two distinct
+/// reachable nodes with the same (variable, lo, hi) triple.
+fn assert_reduced(obdd: &Obdd) {
+    let nodes = reachable_nodes(obdd);
+    let mut triples = HashSet::new();
+    for (r, (var, lo, hi)) in &nodes {
+        assert_ne!(lo, hi, "redundant node {r:?} on variable {var}");
+        assert!(
+            triples.insert((*var, *lo, *hi)),
+            "duplicate node {r:?}: ({var}, {lo:?}, {hi:?}) appears twice"
+        );
+    }
+    // Reachable nodes are also bounded by the reported size (the node table
+    // may retain garbage from intermediate apply steps, never less).
+    assert!(
+        nodes.len() <= obdd.size() + 2,
+        "more reachable nodes than size"
+    );
+}
+
+#[test]
+fn chain_and_formula_obdds_are_reduced() {
+    for n in 1..=6 {
+        assert_reduced(&chain_obdd(n));
+    }
+    for vars in [2usize, 4, 6, 8] {
+        let order: Vec<VarId> = (0..vars).collect();
+        assert_reduced(&Obdd::from_circuit(&parity_circuit(&order), order.clone()));
+        assert_reduced(&Obdd::from_circuit(&threshold2_circuit(&order), order));
+    }
+}
+
+#[test]
+fn probability_at_all_one_half_counts_satisfying_sets() {
+    for n in 1..=3 {
+        let obdd = chain_obdd(n);
+        let vars: Vec<VarId> = obdd.order().to_vec();
+        // Enumerate the full truth table with evaluate_set.
+        let mut satisfying = 0u64;
+        for mask in 0u64..(1 << vars.len()) {
+            let set: BTreeSet<VarId> = vars
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, &v)| v)
+                .collect();
+            if obdd.evaluate_set(&set) {
+                satisfying += 1;
+            }
+        }
+        // At the all-1/2 valuation every world weighs 2^-k, so the
+        // probability must be exactly (#satisfying sets) / 2^k.
+        let p = obdd.probability(&|_| Rational::one_half());
+        let expected = Rational::from_ratio_u64(satisfying, 1 << vars.len());
+        assert_eq!(p, expected, "chain of length {n}");
+        assert_eq!(obdd.count_models().to_u64(), Some(satisfying));
+    }
+}
+
+#[test]
+fn chain_obdd_width_is_constant_in_the_chain_length() {
+    // Theorem 6.7 on pathwidth-1 instances: the OBDD width under the
+    // decomposition-derived order is bounded by a constant independent of n.
+    // Width may only be monotone in the instance *width*, never in its
+    // length; on chains it must not grow at all.
+    let widths: Vec<usize> = (1..=8).map(|n| chain_obdd(n).width()).collect();
+    for (i, pair) in widths.windows(2).enumerate() {
+        assert!(
+            pair[1] <= pair[0].max(1),
+            "width grew along the chain at n={}: {:?}",
+            i + 2,
+            widths
+        );
+    }
+    let tail = widths.last().copied().unwrap();
+    assert_eq!(
+        tail, 1,
+        "long chains must reach the constant width 1: {widths:?}"
+    );
+    // Sizes stay linear: size(n) <= size(1) * n (no blow-up in length).
+    let sizes: Vec<usize> = (1..=8).map(|n| chain_obdd(n).size()).collect();
+    for (i, &s) in sizes.iter().enumerate() {
+        assert!(
+            s <= sizes[0] * (i + 1),
+            "superlinear OBDD size on chains: {sizes:?}"
+        );
+    }
+}

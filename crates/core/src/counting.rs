@@ -93,8 +93,7 @@ impl<'a> MatchCounter<'a> {
         // with base facts at 1 and selection facts at 1/2, scaled by
         // 2^{#selection facts}.
         use treelineage_num::Rational;
-        let base: std::collections::BTreeSet<usize> =
-            base_facts.iter().map(|f| f.0).collect();
+        let base: std::collections::BTreeSet<usize> = base_facts.iter().map(|f| f.0).collect();
         let p = obdd.probability(&|v| {
             if base.contains(&v) {
                 Rational::one()
@@ -111,7 +110,10 @@ impl<'a> MatchCounter<'a> {
     /// exponential, limited to 20 selection facts.
     pub fn count_bruteforce(&self) -> Result<BigUint, LineageError> {
         let (extended, base_facts, selection_facts) = self.extended_instance()?;
-        assert!(selection_facts.len() <= 20, "brute force limited to 20 selection facts");
+        assert!(
+            selection_facts.len() <= 20,
+            "brute force limited to 20 selection facts"
+        );
         let mut count = 0u64;
         for mask in 0u64..(1u64 << selection_facts.len()) {
             let mut world: std::collections::BTreeSet<FactId> =
@@ -190,8 +192,9 @@ mod tests {
         let counter = MatchCounter::new(&q, &inst, vec!["Sel"]);
         let bad = counter.count().unwrap().to_u64().unwrap();
         let total = 1u64 << graph.vertex_count();
-        let independent =
-            treelineage_graph::counting::count_independent_sets(&graph).to_u64().unwrap();
+        let independent = treelineage_graph::counting::count_independent_sets(&graph)
+            .to_u64()
+            .unwrap();
         assert_eq!(total - bad, independent);
     }
 

@@ -56,7 +56,9 @@ mod lineage;
 mod probability;
 
 pub use counting::MatchCounter;
-pub use lineage::{obdd_to_circuit, variable_order_from_decomposition, LineageBuilder, LineageError};
+pub use lineage::{
+    obdd_to_circuit, variable_order_from_decomposition, LineageBuilder, LineageError,
+};
 pub use probability::{model_check, ProbabilityEvaluator};
 
 /// Convenience re-exports of the types most users need.

@@ -170,11 +170,8 @@ pub fn variable_order_from_decomposition(
     td: &TreeDecomposition,
 ) -> Vec<VarId> {
     let domain: Vec<Element> = instance.domain().into_iter().collect();
-    let element_to_vertex: BTreeMap<Element, Vertex> = domain
-        .iter()
-        .enumerate()
-        .map(|(i, &e)| (e, i))
-        .collect();
+    let element_to_vertex: BTreeMap<Element, Vertex> =
+        domain.iter().enumerate().map(|(i, &e)| (e, i)).collect();
     if td.bag_count() == 0 {
         return instance.fact_ids().map(|f| f.0).collect();
     }
@@ -324,10 +321,7 @@ mod tests {
         inst
     }
 
-    fn check_lineage_against_bruteforce(
-        query: &UnionOfConjunctiveQueries,
-        instance: &Instance,
-    ) {
+    fn check_lineage_against_bruteforce(query: &UnionOfConjunctiveQueries, instance: &Instance) {
         let builder = LineageBuilder::new(query, instance).unwrap();
         let circuit = builder.circuit();
         let obdd = builder.obdd();
@@ -339,8 +333,16 @@ mod tests {
                 (0..n).filter(|i| mask >> i & 1 == 1).map(FactId).collect();
             let expected = matching::satisfied_in_world(query, instance, &world);
             let world_vars: BTreeSet<usize> = world.iter().map(|f| f.0).collect();
-            assert_eq!(circuit.evaluate_set(&world_vars), expected, "circuit, mask {mask}");
-            assert_eq!(obdd.evaluate_set(&world_vars), expected, "obdd, mask {mask}");
+            assert_eq!(
+                circuit.evaluate_set(&world_vars),
+                expected,
+                "circuit, mask {mask}"
+            );
+            assert_eq!(
+                obdd.evaluate_set(&world_vars),
+                expected,
+                "obdd, mask {mask}"
+            );
             assert_eq!(
                 ddnnf.circuit().evaluate_set(&world_vars),
                 expected,
@@ -399,9 +401,8 @@ mod tests {
         let builder = LineageBuilder::new(&q, &inst).unwrap();
         let obdd = builder.obdd();
         let valuation = ProbabilityValuation::uniform(&inst, Rational::from_ratio_u64(1, 3));
-        let expected = valuation.probability_of(|world| {
-            matching::satisfied_in_world(&q, &inst, world)
-        });
+        let expected =
+            valuation.probability_of(|world| matching::satisfied_in_world(&q, &inst, world));
         let actual = obdd.probability(&|v| valuation.probability(FactId(v)).clone());
         assert_eq!(actual, expected);
     }

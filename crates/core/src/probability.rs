@@ -185,8 +185,8 @@ mod tests {
         );
         // Footnote 3: model count = 2^{|I|} * probability under all-1/2.
         let p = evaluator.query_probability(&q).unwrap();
-        let scaled = &p
-            * &Rational::from_biguint(treelineage_num::BigUint::pow2(inst.fact_count()));
+        let scaled =
+            &p * &Rational::from_biguint(treelineage_num::BigUint::pow2(inst.fact_count()));
         assert_eq!(
             scaled.numerator().magnitude().to_u64(),
             evaluator.model_count(&q).unwrap().to_u64()

@@ -1,0 +1,163 @@
+//! Minimal in-tree benchmark harness.
+//!
+//! A dependency-free stand-in for the `criterion` crate implementing the
+//! subset of its API used by the `treelineage` benches: benchmark groups,
+//! `bench_with_input` / `bench_function` with a [`Bencher`], `BenchmarkId`,
+//! and the `criterion_group!` / `criterion_main!` macros. Each benchmark is
+//! run for a small fixed number of timed iterations (after one warm-up) and
+//! the mean, minimum and maximum wall-clock times are printed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising away a benchmarked value.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter, `name/param`.
+    pub fn new<S: Into<String>, P: Display>(name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Top-level benchmark driver, handed to every `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(name);
+        group.bench_with_input(BenchmarkId::from_parameter("single"), &(), |b, ()| f(b));
+        group.finish();
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark (clamped to `2..=20`
+    /// so that `cargo bench` stays fast without external configuration).
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.clamp(2, 20);
+        self
+    }
+
+    /// Benchmarks `f` with the given input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size + 1),
+        };
+        for _ in 0..self.sample_size + 1 {
+            f(&mut bencher, input);
+        }
+        // The first sample is warm-up.
+        let timed = &bencher.samples[1..];
+        let total: Duration = timed.iter().sum();
+        let mean = total / timed.len() as u32;
+        let min = timed.iter().min().copied().unwrap_or_default();
+        let max = timed.iter().max().copied().unwrap_or_default();
+        println!(
+            "  {:<32} mean {:>12?}  min {:>12?}  max {:>12?}  ({} samples)",
+            id.id,
+            mean,
+            min,
+            max,
+            timed.len()
+        );
+        self
+    }
+
+    /// Benchmarks `f` with no input.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.bench_with_input(id, &(), |b, ()| f(b))
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Times closures passed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times one execution of `f` and records it as one sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.samples.push(start.elapsed());
+        drop(black_box(out));
+    }
+}
+
+/// Declares a function running a list of benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the `main` function of a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -240,8 +240,7 @@ pub struct DatalogProvenance {
 pub fn evaluate_datalog(program: &DatalogProgram, instance: &Instance) -> DatalogProvenance {
     let mut circuit = Circuit::new();
     // Current gate per IDB row.
-    let mut derived: Vec<BTreeMap<Row, GateId>> =
-        vec![BTreeMap::new(); program.idb.len()];
+    let mut derived: Vec<BTreeMap<Row, GateId>> = vec![BTreeMap::new(); program.idb.len()];
     // EDB gates: one variable per fact.
     let mut edb: BTreeMap<RelationId, BTreeMap<Row, GateId>> = BTreeMap::new();
     for (id, fact) in instance.facts() {
@@ -270,10 +269,7 @@ pub fn evaluate_datalog(program: &DatalogProgram, instance: &Instance) -> Datalo
                         .get(rel)
                         .map(|m| m.iter().map(|(r, &g)| (r.clone(), g)).collect())
                         .unwrap_or_default(),
-                    Predicate::Idb(i) => derived[*i]
-                        .iter()
-                        .map(|(r, &g)| (r.clone(), g))
-                        .collect(),
+                    Predicate::Idb(i) => derived[*i].iter().map(|(r, &g)| (r.clone(), g)).collect(),
                 };
                 let mut next_bindings = Vec::new();
                 for (binding, gates) in &bindings {
@@ -302,11 +298,7 @@ pub fn evaluate_datalog(program: &DatalogProgram, instance: &Instance) -> Datalo
                 bindings = next_bindings;
             }
             for (binding, gates) in bindings {
-                let row: Row = rule
-                    .head_variables
-                    .iter()
-                    .map(|v| binding[v])
-                    .collect();
+                let row: Row = rule.head_variables.iter().map(|v| binding[v]).collect();
                 let gate = if gates.len() == 1 {
                     gates[0]
                 } else {
@@ -487,8 +479,7 @@ mod tests {
                 (0..n).filter(|i| mask >> i & 1 == 1).map(FactId).collect();
             let world = inst.subinstance(&keep);
             // Re-evaluate on the world; compare row sets with lineage values.
-            let world_rows: BTreeSet<Row> =
-                evaluate_ra(&expr, &world).keys().cloned().collect();
+            let world_rows: BTreeSet<Row> = evaluate_ra(&expr, &world).keys().cloned().collect();
             let true_vars: BTreeSet<usize> = keep.iter().map(|f| f.0).collect();
             for (row, lineage) in &full {
                 assert_eq!(world_rows.contains(row), lineage.evaluate_set(&true_vars));

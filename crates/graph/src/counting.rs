@@ -23,7 +23,10 @@ use treelineage_num::BigUint;
 /// enumeration of edge subsets. Exponential; panics above 25 edges.
 pub fn count_matchings_bruteforce(g: &Graph) -> BigUint {
     let edges = g.edges();
-    assert!(edges.len() <= 25, "brute-force matching count limited to 25 edges");
+    assert!(
+        edges.len() <= 25,
+        "brute-force matching count limited to 25 edges"
+    );
     let mut count = 0u64;
     for mask in 0u64..(1u64 << edges.len()) {
         let chosen: Vec<_> = edges
@@ -116,13 +119,10 @@ pub fn count_matchings_with_decomposition(g: &Graph, td: &TreeDecomposition) -> 
                         if mr.iter().any(|v| ml_set.contains(v)) {
                             continue;
                         }
-                        let mut merged: Vec<Vertex> =
-                            ml.iter().chain(mr.iter()).copied().collect();
+                        let mut merged: Vec<Vertex> = ml.iter().chain(mr.iter()).copied().collect();
                         merged.sort_unstable();
                         let prod = cl * cr;
-                        s.entry(merged)
-                            .and_modify(|c| *c += &prod)
-                            .or_insert(prod);
+                        s.entry(merged).and_modify(|c| *c += &prod).or_insert(prod);
                     }
                 }
                 apply_owned_edges(g, &edge_owner, node, bag, &mut s);
@@ -132,7 +132,7 @@ pub fn count_matchings_with_decomposition(g: &Graph, td: &TreeDecomposition) -> 
         states[node] = state;
     }
     let mut total = BigUint::zero();
-    for (_, count) in &states[nice.root()] {
+    for count in states[nice.root()].values() {
         total += count;
     }
     total
@@ -178,7 +178,10 @@ fn apply_owned_edges(
 /// Panics above 25 vertices.
 pub fn count_independent_sets_bruteforce(g: &Graph) -> BigUint {
     let n = g.vertex_count();
-    assert!(n <= 25, "brute-force independent set count limited to 25 vertices");
+    assert!(
+        n <= 25,
+        "brute-force independent set count limited to 25 vertices"
+    );
     let mut count = 0u64;
     'outer: for mask in 0u64..(1u64 << n) {
         for e in g.edges() {
@@ -256,7 +259,7 @@ pub fn count_independent_sets(g: &Graph) -> BigUint {
         states[node] = state;
     }
     let mut total = BigUint::zero();
-    for (_, count) in &states[nice.root()] {
+    for count in states[nice.root()].values() {
         total += count;
     }
     // Vertices that never appear in any bag (isolated vertices) can be freely
@@ -276,7 +279,10 @@ pub fn count_independent_sets(g: &Graph) -> BigUint {
 /// Panics above 12 vertices.
 pub fn count_hamiltonian_cycles_bruteforce(g: &Graph) -> BigUint {
     let n = g.vertex_count();
-    assert!(n <= 12, "brute-force Hamiltonian cycle count limited to 12 vertices");
+    assert!(
+        n <= 12,
+        "brute-force Hamiltonian cycle count limited to 12 vertices"
+    );
     if n < 3 {
         return BigUint::zero();
     }
@@ -319,6 +325,7 @@ mod tests {
     use crate::generators;
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // `n` is both the graph size and the index
     fn matchings_of_paths_are_fibonacci() {
         // #matchings(P_n with n vertices) = Fibonacci(n+1) with F(1)=F(2)=1.
         let expected = [1u64, 1, 2, 3, 5, 8, 13, 21, 34];
@@ -334,6 +341,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // `n` is both the graph size and the index
     fn matchings_of_cycles() {
         // #matchings(C_n) = Lucas number L_n.
         let lucas = [0u64, 0, 0, 4, 7, 11, 18, 29, 47];
@@ -382,6 +390,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // `n` is both the graph size and the index
     fn independent_sets_of_paths() {
         // #IS(P_n) = Fibonacci(n+2).
         let expected = [1u64, 2, 3, 5, 8, 13, 21, 34, 55];

@@ -115,7 +115,7 @@ pub fn random_tree(n: usize, seed: u64) -> Graph {
 /// it was attached to (useful to build a width-`k` tree decomposition
 /// directly).
 pub fn k_tree(n: usize, k: usize, seed: u64) -> (Graph, Vec<Vec<Vertex>>) {
-    assert!(n >= k + 1, "a k-tree needs at least k+1 vertices");
+    assert!(n > k, "a k-tree needs at least k+1 vertices");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut g = complete_graph(k + 1);
     g.ensure_vertices(n);
@@ -259,7 +259,10 @@ pub fn random_graph(n: usize, p: f64, seed: u64) -> Graph {
 /// planar; used to stress the matching-counting reduction beyond the planar
 /// families.
 pub fn random_cubic_graph(n: usize, seed: u64) -> Graph {
-    assert!(n >= 4 && n % 2 == 0, "cubic graphs need an even n >= 4");
+    assert!(
+        n >= 4 && n.is_multiple_of(2),
+        "cubic graphs need an even n >= 4"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     loop {
         let mut points: Vec<usize> = (0..3 * n).collect();

@@ -297,7 +297,13 @@ impl Builder {
         let mut bag = from.clone();
         for &v in target.difference(from) {
             bag.insert(v);
-            node = self.push_with_bag(NiceNode::Introduce { vertex: v, child: node }, bag.clone());
+            node = self.push_with_bag(
+                NiceNode::Introduce {
+                    vertex: v,
+                    child: node,
+                },
+                bag.clone(),
+            );
         }
         node
     }
@@ -313,7 +319,13 @@ impl Builder {
         let to_forget: Vec<Vertex> = from.difference(target).copied().collect();
         for v in to_forget {
             bag.remove(&v);
-            node = self.push_with_bag(NiceNode::Forget { vertex: v, child: node }, bag.clone());
+            node = self.push_with_bag(
+                NiceNode::Forget {
+                    vertex: v,
+                    child: node,
+                },
+                bag.clone(),
+            );
         }
         node
     }
@@ -325,7 +337,12 @@ impl Builder {
     /// Builds the nice subtree for the subtree of `td` rooted at `bag_id`
     /// (with parent `parent`), returning a node whose bag equals
     /// `td.bag(bag_id)`.
-    fn build_subtree(&mut self, td: &TreeDecomposition, bag_id: usize, parent: usize) -> NiceNodeId {
+    fn build_subtree(
+        &mut self,
+        td: &TreeDecomposition,
+        bag_id: usize,
+        parent: usize,
+    ) -> NiceNodeId {
         let my_bag = td.bag(bag_id).clone();
         // Start from a leaf and introduce my whole bag.
         let leaf = self.push(NiceNode::Leaf, BTreeSet::new());
@@ -338,8 +355,7 @@ impl Builder {
             // Adapt the child (bag = td.bag(child)) to my bag: forget what I
             // don't have, introduce what I have.
             let child_bag = td.bag(child).clone();
-            let intersection: BTreeSet<Vertex> =
-                child_bag.intersection(&my_bag).copied().collect();
+            let intersection: BTreeSet<Vertex> = child_bag.intersection(&my_bag).copied().collect();
             let forgotten = self.forget_down_to(child_top, &child_bag, &intersection);
             let adapted = self.introduce_all(forgotten, &intersection, &my_bag);
             // Join with the accumulator.
@@ -395,6 +411,7 @@ mod tests {
             let nice = nice_of(&g);
             assert!(nice.validate(&g).is_ok());
             assert!(nice.width() <= 3 + 1); // heuristic may lose a little
+
             // Post-order ends at the root and visits every node once.
             let order = nice.post_order();
             assert_eq!(order.len(), nice.node_count());

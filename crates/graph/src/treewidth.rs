@@ -398,7 +398,10 @@ mod tests {
         assert_eq!(treewidth_exact(&generators::complete_graph(6)), 5);
         assert_eq!(treewidth_exact(&generators::grid_graph(3, 3)), 3);
         assert_eq!(treewidth_exact(&generators::grid_graph(2, 5)), 2);
-        assert_eq!(treewidth_exact(&generators::complete_bipartite_graph(3, 3)), 3);
+        assert_eq!(
+            treewidth_exact(&generators::complete_bipartite_graph(3, 3)),
+            3
+        );
         assert_eq!(treewidth_exact(&generators::star_graph(6)), 1);
     }
 

@@ -57,7 +57,11 @@ pub fn qp(signature: &Signature) -> UnionOfConjunctiveQueries {
 /// relation).
 pub fn qd(signature: &Signature) -> UnionOfConjunctiveQueries {
     let binaries = signature.binary_relations();
-    assert_eq!(binaries.len(), 1, "q_d is stated for a single binary relation");
+    assert_eq!(
+        binaries.len(),
+        1,
+        "q_d is stated for a single binary relation"
+    );
     let name = signature.relation(binaries[0]).name();
     parse_query(
         signature,
@@ -117,7 +121,11 @@ pub fn matching_probability(graph: &Graph, valuation: &ProbabilityValuation) -> 
     let builder = LineageBuilder::new(&query, &instance).expect("same signature");
     builder
         .obdd()
-        .probability(&|v| valuation.probability(treelineage_instance::FactId(v)).clone())
+        .probability(&|v| {
+            valuation
+                .probability(treelineage_instance::FactId(v))
+                .clone()
+        })
         .complement()
 }
 
@@ -207,7 +215,10 @@ pub fn threshold_family(n: usize) -> (UnionOfConjunctiveQueries, Instance) {
 /// function. Returns the instance together with the relation ids of the
 /// label and edge relations.
 pub fn parity_family(n: usize) -> (Instance, RelationId, RelationId) {
-    let signature = Signature::builder().relation("L", 1).relation("E", 2).build();
+    let signature = Signature::builder()
+        .relation("L", 1)
+        .relation("E", 2)
+        .build();
     let l = signature.relation_by_name("L").unwrap();
     let e = signature.relation_by_name("E").unwrap();
     let instance = encodings::labelled_path_instance(&signature, l, e, n);
@@ -232,7 +243,10 @@ mod tests {
 
     #[test]
     fn qp_on_two_relation_signature_is_intricate() {
-        let sig = Signature::builder().relation("R", 2).relation("S", 2).build();
+        let sig = Signature::builder()
+            .relation("R", 2)
+            .relation("S", 2)
+            .build();
         let q = qp(&sig);
         assert!(intricate::is_n_intricate(&q, 0));
     }

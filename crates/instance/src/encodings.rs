@@ -63,7 +63,11 @@ pub struct LineStep {
 pub fn line_instance(signature: &Signature, steps: &[LineStep]) -> Instance {
     let mut inst = Instance::new(signature.clone());
     for (i, step) in steps.iter().enumerate() {
-        assert_eq!(signature.arity(step.relation), 2, "line steps must be binary");
+        assert_eq!(
+            signature.arity(step.relation),
+            2,
+            "line steps must be binary"
+        );
         let a = Element(i as u64 + 1);
         let b = Element(i as u64 + 2);
         let args = if step.forward { vec![a, b] } else { vec![b, a] };
@@ -78,7 +82,10 @@ pub fn line_instance(signature: &Signature, steps: &[LineStep]) -> Instance {
 /// intricacy by enumerating these.
 pub fn all_line_instances(signature: &Signature, length: usize) -> Vec<Instance> {
     let binary = signature.binary_relations();
-    assert!(!binary.is_empty(), "arity-2 signatures have a binary relation");
+    assert!(
+        !binary.is_empty(),
+        "arity-2 signatures have a binary relation"
+    );
     let choices: Vec<LineStep> = binary
         .iter()
         .flat_map(|&r| {
@@ -158,10 +165,7 @@ pub fn complete_bipartite_instance(
     let mut inst = Instance::new(signature.clone());
     for i in 0..n {
         for j in 0..n {
-            inst.add_fact(
-                relation,
-                vec![Element(i as u64), Element((n + j) as u64)],
-            );
+            inst.add_fact(relation, vec![Element(i as u64), Element((n + j) as u64)]);
         }
     }
     inst
@@ -215,12 +219,7 @@ pub fn labelled_path_instance(
 /// k-tree, labelled with uniformly random binary relations of the signature,
 /// plus (optionally) unary facts on each element for every unary relation
 /// with probability 1/2.
-pub fn random_treelike_instance(
-    signature: &Signature,
-    n: usize,
-    k: usize,
-    seed: u64,
-) -> Instance {
+pub fn random_treelike_instance(signature: &Signature, n: usize, k: usize, seed: u64) -> Instance {
     let graph = generators::random_partial_k_tree(n, k, 0.8, seed);
     let binary = signature.binary_relations();
     let unary = signature.unary_relations();
@@ -266,7 +265,10 @@ mod tests {
     use super::*;
 
     fn two_binary_signature() -> Signature {
-        Signature::builder().relation("R", 2).relation("S", 2).build()
+        Signature::builder()
+            .relation("R", 2)
+            .relation("S", 2)
+            .build()
     }
 
     #[test]
@@ -297,9 +299,18 @@ mod tests {
         let r = sig.relation_by_name("R").unwrap();
         let s = sig.relation_by_name("S").unwrap();
         let steps = [
-            LineStep { relation: r, forward: true },
-            LineStep { relation: s, forward: false },
-            LineStep { relation: r, forward: true },
+            LineStep {
+                relation: r,
+                forward: true,
+            },
+            LineStep {
+                relation: s,
+                forward: false,
+            },
+            LineStep {
+                relation: r,
+                forward: true,
+            },
         ];
         let inst = line_instance(&sig, &steps);
         assert_eq!(inst.fact_count(), 3);
@@ -359,7 +370,10 @@ mod tests {
 
     #[test]
     fn labelled_path_instance_structure() {
-        let sig = Signature::builder().relation("L", 1).relation("E", 2).build();
+        let sig = Signature::builder()
+            .relation("L", 1)
+            .relation("E", 2)
+            .build();
         let l = sig.relation_by_name("L").unwrap();
         let e = sig.relation_by_name("E").unwrap();
         let inst = labelled_path_instance(&sig, l, e, 5);

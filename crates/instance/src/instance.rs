@@ -199,11 +199,8 @@ impl Instance {
     /// vertices of the graph.
     pub fn gaifman_graph(&self) -> (Graph, Vec<Element>) {
         let domain: Vec<Element> = self.domain().into_iter().collect();
-        let index: BTreeMap<Element, Vertex> = domain
-            .iter()
-            .enumerate()
-            .map(|(i, &e)| (e, i))
-            .collect();
+        let index: BTreeMap<Element, Vertex> =
+            domain.iter().enumerate().map(|(i, &e)| (e, i)).collect();
         let mut graph = Graph::new(domain.len());
         for fact in &self.facts {
             let elements: Vec<Element> = fact.elements().into_iter().collect();
@@ -233,10 +230,7 @@ impl Instance {
     /// Returns `true` if `other` is a subinstance of `self` (every fact of
     /// `other` is a fact of `self`).
     pub fn includes(&self, other: &Instance) -> bool {
-        other
-            .facts
-            .iter()
-            .all(|f| self.index.contains_key(f))
+        other.facts.iter().all(|f| self.index.contains_key(f))
     }
 
     /// Finds a homomorphism from `self` to `other` (a map on domain elements
@@ -264,8 +258,14 @@ impl Instance {
         let domain: Vec<Element> = self.domain().into_iter().collect();
         let target_domain: Vec<Element> = other.domain().into_iter().collect();
         let mut assignment: BTreeMap<Element, Element> = BTreeMap::new();
-        if self.extend_homomorphism(&domain, 0, &target_domain, other, injective, &mut assignment)
-        {
+        if self.extend_homomorphism(
+            &domain,
+            0,
+            &target_domain,
+            other,
+            injective,
+            &mut assignment,
+        ) {
             Some(assignment)
         } else {
             None
@@ -314,8 +314,7 @@ impl Instance {
     ) -> bool {
         for fact in &self.facts {
             if fact.arguments().iter().all(|a| assignment.contains_key(a)) {
-                let image: Vec<Element> =
-                    fact.arguments().iter().map(|a| assignment[a]).collect();
+                let image: Vec<Element> = fact.arguments().iter().map(|a| assignment[a]).collect();
                 if !other.contains(fact.relation(), &image) {
                     return false;
                 }

@@ -190,7 +190,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn duplicate_relation_panics() {
-        let _ = Signature::builder().relation("R", 1).relation("R", 2).build();
+        let _ = Signature::builder()
+            .relation("R", 1)
+            .relation("R", 2)
+            .build();
     }
 
     #[test]

@@ -43,7 +43,11 @@ impl ProbabilityValuation {
     /// fact id). Panics if any value is outside `[0, 1]` or the length does
     /// not match the instance.
     pub fn from_probabilities(instance: &Instance, probabilities: Vec<Rational>) -> Self {
-        assert_eq!(probabilities.len(), instance.fact_count(), "length mismatch");
+        assert_eq!(
+            probabilities.len(),
+            instance.fact_count(),
+            "length mismatch"
+        );
         assert!(
             probabilities.iter().all(|p| p.is_probability()),
             "probability out of [0, 1]"
@@ -56,9 +60,7 @@ impl ProbabilityValuation {
     pub fn from_f64(instance: &Instance, probabilities: &[f64]) -> Self {
         let rationals = probabilities
             .iter()
-            .map(|&p| {
-                Rational::from_f64_dyadic(p).expect("probability must be finite")
-            })
+            .map(|&p| Rational::from_f64_dyadic(p).expect("probability must be finite"))
             .collect();
         ProbabilityValuation::from_probabilities(instance, rationals)
     }
@@ -106,10 +108,8 @@ impl ProbabilityValuation {
         let n = self.probabilities.len();
         assert!(n <= 20, "world enumeration limited to 20 facts");
         for mask in 0u64..(1u64 << n) {
-            let present: BTreeSet<FactId> = (0..n)
-                .filter(|i| mask >> i & 1 == 1)
-                .map(FactId)
-                .collect();
+            let present: BTreeSet<FactId> =
+                (0..n).filter(|i| mask >> i & 1 == 1).map(FactId).collect();
             let p = self.world_probability(&present);
             f(&present, &p);
         }
@@ -158,10 +158,7 @@ impl TupleIndependentDatabase {
 
     /// The probability that a world-predicate holds (brute force; see
     /// [`ProbabilityValuation::probability_of`]).
-    pub fn probability_of(
-        &self,
-        satisfies: impl FnMut(&BTreeSet<FactId>) -> bool,
-    ) -> Rational {
+    pub fn probability_of(&self, satisfies: impl FnMut(&BTreeSet<FactId>) -> bool) -> Rational {
         self.valuation.probability_of(satisfies)
     }
 }
@@ -203,7 +200,10 @@ mod tests {
         let val = ProbabilityValuation::from_f64(&inst, &[0.5, 0.25, 0.125]);
         let world: BTreeSet<FactId> = [FactId(0), FactId(2)].into_iter().collect();
         // 0.5 * (1 - 0.25) * 0.125 = 3/64
-        assert_eq!(val.world_probability(&world), Rational::from_ratio_u64(3, 64));
+        assert_eq!(
+            val.world_probability(&world),
+            Rational::from_ratio_u64(3, 64)
+        );
     }
 
     #[test]

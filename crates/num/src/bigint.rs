@@ -76,7 +76,11 @@ impl BigInt {
     /// Converts from an unsigned big integer.
     pub fn from_biguint(v: BigUint) -> Self {
         BigInt::from_sign_magnitude(
-            if v.is_zero() { Sign::Zero } else { Sign::Positive },
+            if v.is_zero() {
+                Sign::Zero
+            } else {
+                Sign::Positive
+            },
             v,
         )
     }
@@ -109,7 +113,7 @@ impl BigInt {
             Sign::Positive => i64::try_from(m).ok(),
             Sign::Negative => {
                 if m <= i64::MAX as u64 + 1 {
-                    Some((m as i128 * -1) as i64)
+                    Some(-(m as i128) as i64)
                 } else {
                     None
                 }

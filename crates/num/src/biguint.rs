@@ -300,9 +300,7 @@ impl Add<&BigUint> for &BigUint {
         let mut limbs = Vec::with_capacity(long.limbs.len() + 1);
         let mut carry: u64 = 0;
         for i in 0..long.limbs.len() {
-            let s = long.limbs[i] as u64
-                + short.limbs.get(i).copied().unwrap_or(0) as u64
-                + carry;
+            let s = long.limbs[i] as u64 + short.limbs.get(i).copied().unwrap_or(0) as u64 + carry;
             limbs.push((s & 0xFFFF_FFFF) as u32);
             carry = s >> BASE_BITS;
         }

@@ -302,6 +302,7 @@ impl MulAssign<&Rational> for Rational {
 
 impl Div<&Rational> for &Rational {
     type Output = Rational;
+    #[allow(clippy::suspicious_arithmetic_impl)] // division as reciprocal multiplication
     fn div(self, rhs: &Rational) -> Rational {
         self * &rhs.reciprocal()
     }
@@ -399,7 +400,10 @@ mod tests {
             Rational::from_ratio_i64(-3, 2)
         );
         assert_eq!(Rational::from_f64_dyadic(0.0).unwrap(), Rational::zero());
-        assert_eq!(Rational::from_f64_dyadic(3.0).unwrap(), Rational::from_ratio_u64(3, 1));
+        assert_eq!(
+            Rational::from_f64_dyadic(3.0).unwrap(),
+            Rational::from_ratio_u64(3, 1)
+        );
         assert!(Rational::from_f64_dyadic(f64::NAN).is_none());
         assert!(Rational::from_f64_dyadic(f64::INFINITY).is_none());
     }

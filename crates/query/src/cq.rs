@@ -385,10 +385,7 @@ impl fmt::Display for UnionOfConjunctiveQueries {
 /// ```text
 /// R(x), S(x, y), T(y) | S(x, y), S(y, z), x != z
 /// ```
-pub fn parse_query(
-    signature: &Signature,
-    text: &str,
-) -> Result<UnionOfConjunctiveQueries, String> {
+pub fn parse_query(signature: &Signature, text: &str) -> Result<UnionOfConjunctiveQueries, String> {
     let mut disjuncts = Vec::new();
     for part in text.split('|') {
         let part = part.trim();

@@ -22,7 +22,10 @@ use treelineage_instance::{encodings, FactId, Instance};
 /// (Definition 8.5). For a line instance with `2n + 2` facts these are the
 /// facts at 0-based positions `n` and `n + 1`.
 pub fn middle_facts(line_length: usize) -> (FactId, FactId) {
-    assert!(line_length >= 2 && line_length % 2 == 0, "line length must be even and >= 2");
+    assert!(
+        line_length >= 2 && line_length.is_multiple_of(2),
+        "line length must be even and >= 2"
+    );
     let n = (line_length - 2) / 2;
     (FactId(n), FactId(n + 1))
 }
@@ -37,10 +40,7 @@ pub fn is_n_intricate(query: &UnionOfConjunctiveQueries, n: usize) -> bool {
 /// If `query` is not `n`-intricate, returns a witnessing line instance on
 /// which no minimal match contains both middle facts; returns `None` if the
 /// query is `n`-intricate.
-pub fn n_intricacy_counterexample(
-    query: &UnionOfConjunctiveQueries,
-    n: usize,
-) -> Option<Instance> {
+pub fn n_intricacy_counterexample(query: &UnionOfConjunctiveQueries, n: usize) -> Option<Instance> {
     let signature = query.signature();
     assert!(
         signature.is_arity_two(),
@@ -208,11 +208,7 @@ mod tests {
     #[test]
     fn connected_cq_with_disequality_is_not_intricate() {
         // Proposition 8.8: connected CQ≠ are never intricate. Check a few.
-        for text in [
-            "S(x, y), S(y, z), x != z",
-            "S(x, y)",
-            "S(x, y), S(y, z)",
-        ] {
+        for text in ["S(x, y), S(y, z), x != z", "S(x, y)", "S(x, y), S(y, z)"] {
             let q = parse_query(&single_binary(), text).unwrap();
             assert!(
                 connected_cq_is_not_intricate(&q),
@@ -236,7 +232,11 @@ mod tests {
         let sig = single_binary();
         let s = sig.relation_by_name("S").unwrap();
         let inst = encodings::complete_bipartite_instance(&sig, s, 3);
-        for text in ["S(x, y)", "S(x, y), S(x, z)", "S(x, y), S(z, y) | S(x, y), S(x, w)"] {
+        for text in [
+            "S(x, y)",
+            "S(x, y), S(x, z)",
+            "S(x, y), S(z, y) | S(x, y), S(x, w)",
+        ] {
             let q = parse_query(&sig, text).unwrap();
             if matching::satisfied(&q, &inst) {
                 assert!(

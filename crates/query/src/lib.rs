@@ -16,9 +16,7 @@ pub mod intricate;
 pub mod matching;
 mod mso;
 
-pub use cq::{
-    parse_query, Atom, ConjunctiveQuery, CqBuilder, UnionOfConjunctiveQueries, Variable,
-};
+pub use cq::{parse_query, Atom, ConjunctiveQuery, CqBuilder, UnionOfConjunctiveQueries, Variable};
 pub use mso::{odd_number_of_labels, two_distinct_unary, FoVar, MsoFormula, SetVar};
 
 #[cfg(test)]
@@ -48,7 +46,10 @@ mod proptests {
             ("L", vec!["y"]),
         ];
         proptest::collection::vec(
-            (proptest::collection::vec(0usize..atom_pool.len(), 1..4), any::<bool>()),
+            (
+                proptest::collection::vec(0usize..atom_pool.len(), 1..4),
+                any::<bool>(),
+            ),
             1..3,
         )
         .prop_map(move |disjunct_specs| {
@@ -137,7 +138,10 @@ mod proptests {
         // head-to-head and tail-to-tail lines (and the lines mixing the two
         // relations), so it is not 0-intricate — the decision procedure must
         // produce a counterexample line of length 2 with no covering match.
-        let signature = Signature::builder().relation("R", 2).relation("S", 2).build();
+        let signature = Signature::builder()
+            .relation("R", 2)
+            .relation("S", 2)
+            .build();
         let q = parse_query(
             &signature,
             "S(x, y), S(y, z), x != z | R(x, y), R(y, z), x != z",

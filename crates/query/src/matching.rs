@@ -29,7 +29,9 @@ pub fn homomorphisms_in_world(
     let facts_by_relation: BTreeMap<_, Vec<FactId>> = {
         let mut map: BTreeMap<_, Vec<FactId>> = BTreeMap::new();
         for &id in world {
-            map.entry(instance.fact(id).relation()).or_default().push(id);
+            map.entry(instance.fact(id).relation())
+                .or_default()
+                .push(id);
         }
         map
     };
@@ -112,11 +114,7 @@ pub fn match_of(
         .atoms()
         .iter()
         .map(|atom| {
-            let image: Vec<Element> = atom
-                .arguments
-                .iter()
-                .map(|v| homomorphism[v])
-                .collect();
+            let image: Vec<Element> = atom.arguments.iter().map(|v| homomorphism[v]).collect();
             instance
                 .fact_id(atom.relation, &image)
                 .expect("homomorphism image must be a fact")
@@ -163,9 +161,10 @@ pub fn satisfied_in_world(
     instance: &Instance,
     world: &BTreeSet<FactId>,
 ) -> bool {
-    query.disjuncts().iter().any(|disjunct| {
-        !homomorphisms_in_world(disjunct, instance, world).is_empty()
-    })
+    query
+        .disjuncts()
+        .iter()
+        .any(|disjunct| !homomorphisms_in_world(disjunct, instance, world).is_empty())
 }
 
 /// Evaluates a UCQ≠ on the full instance.
@@ -183,10 +182,8 @@ pub fn check_monotone_on(query: &UnionOfConjunctiveQueries, instance: &Instance)
     assert!(n <= 15, "monotonicity check limited to 15 facts");
     let satisfied_masks: Vec<bool> = (0u32..(1 << n))
         .map(|mask| {
-            let world: BTreeSet<FactId> = (0..n)
-                .filter(|i| mask >> i & 1 == 1)
-                .map(FactId)
-                .collect();
+            let world: BTreeSet<FactId> =
+                (0..n).filter(|i| mask >> i & 1 == 1).map(FactId).collect();
             satisfied_in_world(query, instance, &world)
         })
         .collect();

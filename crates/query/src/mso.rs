@@ -64,9 +64,9 @@ impl MsoFormula {
     pub fn is_first_order(&self) -> bool {
         match self {
             MsoFormula::Atom { .. } | MsoFormula::Equal(_, _) => true,
-            MsoFormula::Member(_, _) | MsoFormula::ExistsSet(_, _) | MsoFormula::ForallSet(_, _) => {
-                false
-            }
+            MsoFormula::Member(_, _)
+            | MsoFormula::ExistsSet(_, _)
+            | MsoFormula::ForallSet(_, _) => false,
             MsoFormula::Not(f) => f.is_first_order(),
             MsoFormula::And(fs) | MsoFormula::Or(fs) => fs.iter().all(|f| f.is_first_order()),
             MsoFormula::Implies(a, b) => a.is_first_order() && b.is_first_order(),
@@ -467,7 +467,10 @@ mod tests {
         let r = sig.relation_by_name("R").unwrap();
         let fo = two_distinct_unary(r);
         assert!(fo.is_first_order());
-        let sig2 = Signature::builder().relation("L", 1).relation("E", 2).build();
+        let sig2 = Signature::builder()
+            .relation("L", 1)
+            .relation("E", 2)
+            .build();
         let mso = odd_number_of_labels(
             sig2.relation_by_name("L").unwrap(),
             sig2.relation_by_name("E").unwrap(),
@@ -491,7 +494,10 @@ mod tests {
 
     #[test]
     fn parity_formula_counts_labels_mod_two() {
-        let sig = Signature::builder().relation("L", 1).relation("E", 2).build();
+        let sig = Signature::builder()
+            .relation("L", 1)
+            .relation("E", 2)
+            .build();
         let l = sig.relation_by_name("L").unwrap();
         let e = sig.relation_by_name("E").unwrap();
         let formula = odd_number_of_labels(l, e);
@@ -505,7 +511,10 @@ mod tests {
     fn parity_formula_on_worlds_with_missing_labels() {
         // Remove some L-facts (but keep all E-facts): the formula counts the
         // remaining labels.
-        let sig = Signature::builder().relation("L", 1).relation("E", 2).build();
+        let sig = Signature::builder()
+            .relation("L", 1)
+            .relation("E", 2)
+            .build();
         let l = sig.relation_by_name("L").unwrap();
         let e = sig.relation_by_name("E").unwrap();
         let full = encodings::labelled_path_instance(&sig, l, e, 4);

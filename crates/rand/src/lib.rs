@@ -1,0 +1,119 @@
+//! Minimal in-tree random number generation.
+//!
+//! A dependency-free stand-in for the `rand` crate implementing the subset of
+//! its API used by the `treelineage` generators: a seedable generator
+//! ([`rngs::StdRng`]), [`Rng::gen_range`] / [`Rng::gen_bool`], and
+//! [`seq::SliceRandom::shuffle`]. The generator is splitmix64, so for a fixed
+//! seed the produced values are identical across platforms and runs —
+//! determinism is what the experiments and tests actually rely on, not
+//! statistical quality.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Types usable as uniform `gen_range` bounds.
+pub trait SampleUniform: Sized {
+    /// Draws a value uniformly from `[start, end)`; panics on empty ranges.
+    fn sample_range(range: &Range<Self>, rng: &mut dyn RngCore) -> Self;
+}
+
+macro_rules! sample_uniform_int {
+    ($($ty:ty),*) => {
+        $(impl SampleUniform for $ty {
+            fn sample_range(range: &Range<Self>, rng: &mut dyn RngCore) -> Self {
+                assert!(range.start < range.end, "empty range");
+                let width = (range.end as i128).wrapping_sub(range.start as i128) as u128;
+                let offset = u128::from(rng.next_u64()) % width;
+                (range.start as i128 + offset as i128) as $ty
+            }
+        })*
+    };
+}
+
+sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The raw source of randomness.
+pub trait RngCore {
+    /// Next uniform 64-bit value.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// High-level sampling methods, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value uniformly from the half-open range.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(&range, self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic generator (splitmix64).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng {
+                state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Sequence-related sampling.
+pub mod seq {
+    use super::Rng;
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}

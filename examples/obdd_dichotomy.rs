@@ -15,12 +15,20 @@ fn main() {
     let sig = Signature::builder().relation("S", 2).build();
     let qp = hardness::qp(&sig);
     println!("q_p = {qp}");
-    println!("q_p is 0-intricate: {}\n", intricate::is_n_intricate(&qp, 0));
+    println!(
+        "q_p is 0-intricate: {}\n",
+        intricate::is_n_intricate(&qp, 0)
+    );
 
     println!("{:>14} {:>10} {:>12}", "instance", "facts", "OBDD width");
     for n in [2usize, 3, 4, 5] {
         let (w, _) = hardness::obdd_width_of_qp_on_grid(n);
-        println!("{:>14} {:>10} {:>12}", format!("{n}x{n} grid"), 2 * n * (n - 1), w);
+        println!(
+            "{:>14} {:>10} {:>12}",
+            format!("{n}x{n} grid"),
+            2 * n * (n - 1),
+            w
+        );
     }
     for len in [20usize, 40, 80] {
         let (w, _) = hardness::obdd_width_of_qp_on_chain(len);

@@ -7,7 +7,9 @@
 //!
 //! Run with `cargo run --example probabilistic_xml`.
 
-use treelineage_automata::{parity_automaton, provenance_circuit, BinaryTree, NodeId, UncertainTree};
+use treelineage_automata::{
+    parity_automaton, provenance_circuit, BinaryTree, NodeId, UncertainTree,
+};
 use treelineage_circuit::Dnnf;
 use treelineage_num::Rational;
 
@@ -30,7 +32,8 @@ fn main() {
     let circuit = provenance_circuit(&automaton, &doc);
     println!("provenance circuit size : {}", circuit.size());
 
-    let ddnnf = Dnnf::from_trusted_circuit(circuit).expect("deterministic automaton gives a d-DNNF");
+    let ddnnf =
+        Dnnf::from_trusted_circuit(circuit).expect("deterministic automaton gives a d-DNNF");
     let prob = |e: usize| Rational::from_ratio_u64(1, e as u64 + 2);
     let p = ddnnf.probability(&prob);
     println!("P(odd number of items)  : {} ≈ {:.4}", p, p.to_f64());

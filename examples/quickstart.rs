@@ -30,12 +30,18 @@ fn main() {
     let obdd = builder.obdd();
     let ddnnf = builder.ddnnf();
     println!("lineage circuit size : {}", circuit.size());
-    println!("lineage OBDD         : width {}, size {}", obdd.width(), obdd.size());
+    println!(
+        "lineage OBDD         : width {}, size {}",
+        obdd.width(),
+        obdd.size()
+    );
     println!("lineage d-DNNF size  : {}", ddnnf.size());
     println!("satisfying worlds    : {}", obdd.count_models());
 
     // Probability evaluation on a tuple-independent database (Theorem 3.2).
-    let probabilities: Vec<f64> = (0..inst.fact_count()).map(|i| [0.5, 0.75, 0.25][i % 3]).collect();
+    let probabilities: Vec<f64> = (0..inst.fact_count())
+        .map(|i| [0.5, 0.75, 0.25][i % 3])
+        .collect();
     let valuation = ProbabilityValuation::from_f64(&inst, &probabilities);
     let evaluator = ProbabilityEvaluator::new(&inst, &valuation);
     let p = evaluator.query_probability(&q).unwrap();

@@ -9,10 +9,15 @@ use treelineage::prelude::*;
 use treelineage_safe as safe;
 
 fn main() {
-    let sig = Signature::builder().relation("R", 1).relation("S", 2).build();
+    let sig = Signature::builder()
+        .relation("R", 1)
+        .relation("S", 2)
+        .build();
     // A "star join" instance where many S-facts share their second attribute,
-    // creating a dense Gaifman graph.
-    let n = 6u64;
+    // creating a dense Gaifman graph. 4 + 4·3 = 16 facts: the
+    // `lineage_preserved` oracle below brute-forces all 2^facts worlds and
+    // is capped at 18 facts.
+    let n = 4u64;
     let mut inst = Instance::new(sig.clone());
     for a in 1..=n {
         inst.add_fact_by_name("R", &[a]);
@@ -23,9 +28,15 @@ fn main() {
     let q = parse_query(&sig, "R(x), S(x, y)").unwrap();
 
     println!("query                  : {}", q);
-    println!("hierarchical           : {}", q.disjuncts()[0].is_hierarchical());
+    println!(
+        "hierarchical           : {}",
+        q.disjuncts()[0].is_hierarchical()
+    );
     println!("inversion-free         : {}", safe::is_inversion_free(&q));
-    println!("safe (sjf dichotomy)   : {}", safe::is_safe_self_join_free_cq(&q.disjuncts()[0]));
+    println!(
+        "safe (sjf dichotomy)   : {}",
+        safe::is_safe_self_join_free_cq(&q.disjuncts()[0])
+    );
 
     let (w_before, _, _) = inst.treewidth_upper_bound();
     let unfolding = safe::unfold_for_query(&q, &inst).expect("inversion-free");

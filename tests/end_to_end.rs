@@ -19,7 +19,10 @@ fn rst() -> Signature {
 
 #[test]
 fn lineage_probability_and_counting_agree_on_treelike_instances() {
-    let sig = Signature::builder().relation("S", 2).relation("R", 2).build();
+    let sig = Signature::builder()
+        .relation("S", 2)
+        .relation("R", 2)
+        .build();
     let q = parse_query(&sig, "S(x, y), S(y, z), x != z | R(x, y), S(y, z)").unwrap();
     for seed in 0..5u64 {
         let inst = encodings::random_treelike_instance(&sig, 7, 2, seed);
@@ -61,8 +64,14 @@ fn theorem_8_1_width_separation_between_grids_and_chains() {
     let (grid3, _) = hardness::obdd_width_of_qp_on_grid(3);
     let (grid5, _) = hardness::obdd_width_of_qp_on_grid(5);
     let (chain, _) = hardness::obdd_width_of_qp_on_chain(60);
-    assert!(grid5 > grid3, "width must grow with the grid: {grid3} -> {grid5}");
-    assert!(grid5 > 2 * chain, "grids must dominate chains: {grid5} vs {chain}");
+    assert!(
+        grid5 > grid3,
+        "width must grow with the grid: {grid3} -> {grid5}"
+    );
+    assert!(
+        grid5 > 2 * chain,
+        "grids must dominate chains: {grid5} vs {chain}"
+    );
 }
 
 #[test]
@@ -80,7 +89,10 @@ fn theorem_8_7_intricacy_classification() {
 
 #[test]
 fn theorem_9_7_unfolding_pipeline() {
-    let sig = Signature::builder().relation("R", 1).relation("S", 2).build();
+    let sig = Signature::builder()
+        .relation("R", 1)
+        .relation("S", 2)
+        .build();
     let q = parse_query(&sig, "R(x), S(x, y)").unwrap();
     assert!(safe::is_inversion_free(&q));
     let mut inst = Instance::new(sig.clone());
@@ -126,7 +138,10 @@ fn obdd_and_ddnnf_lineages_agree_with_direct_evaluation_on_grids() {
 
 #[test]
 fn match_counting_matches_independent_set_dp_on_trees() {
-    let sig = Signature::builder().relation("E", 2).relation("Sel", 1).build();
+    let sig = Signature::builder()
+        .relation("E", 2)
+        .relation("Sel", 1)
+        .build();
     let e = sig.relation_by_name("E").unwrap();
     let q = parse_query(&sig, "E(x, y), Sel(x), Sel(y)").unwrap();
     for seed in 0..3u64 {
