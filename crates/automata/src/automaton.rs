@@ -1,11 +1,11 @@
 //! Bottom-up tree automata on full binary trees.
 //!
-//! The tractability backbone of the paper (via [2] and Courcelle's theorem
-//! [13]) is the ability to run a bottom-up tree automaton compiled from the
+//! The tractability backbone of the paper (via \[2\] and Courcelle's theorem
+//! \[13\]) is the ability to run a bottom-up tree automaton compiled from the
 //! query over a tree encoding of the instance. This module implements
 //! nondeterministic bottom-up tree automata (bNTA), their deterministic
 //! restriction (bDTA), the subset-construction determinization used by
-//! Theorem 6.11 ("one can always make a tree automaton deterministic [12], at
+//! Theorem 6.11 ("one can always make a tree automaton deterministic \[12\], at
 //! the cost of an increased constant factor"), products, complement and
 //! emptiness testing.
 
@@ -174,7 +174,7 @@ impl TreeAutomaton {
         Some(run)
     }
 
-    /// Determinizes the automaton by the subset construction ([12], as used
+    /// Determinizes the automaton by the subset construction (\[12\], as used
     /// in the proof of Theorem 6.11). The resulting automaton is complete and
     /// deterministic and accepts the same trees. States of the result are
     /// subsets of the original states; the mapping back is returned alongside.

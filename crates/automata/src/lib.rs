@@ -1,6 +1,6 @@
 //! Tree automata and automaton provenance for the `treelineage` workspace.
 //!
-//! The paper's tractability results go through the machinery of [2]: compile
+//! The paper's tractability results go through the machinery of \[2\]: compile
 //! the query into a bottom-up tree automaton, run it over a tree encoding of
 //! the treelike instance, and extract a provenance circuit of the run. This
 //! crate implements the automaton side of that pipeline from scratch:
@@ -9,9 +9,9 @@
 //!   their uncertain variant (one Boolean event per node), the data model of
 //!   probabilistic XML without data values cited in the introduction;
 //! * [`TreeAutomaton`] — nondeterministic bottom-up tree automata with
-//!   determinization ([12]), product, complement and emptiness;
+//!   determinization (\[12\]), product, complement and emptiness;
 //! * [`provenance_circuit`] — the linear-time provenance circuit of an
-//!   automaton on an uncertain tree (Proposition 3.1 of [2]), which is a
+//!   automaton on an uncertain tree (Proposition 3.1 of \[2\]), which is a
 //!   d-DNNF when the automaton is deterministic (the key step of
 //!   Theorem 6.11).
 //!

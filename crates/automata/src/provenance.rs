@@ -1,5 +1,5 @@
 //! Provenance circuits of tree automata on uncertain trees
-//! (Proposition 3.1 of [2]/[3], the engine behind Theorems 6.3 and 6.11).
+//! (Proposition 3.1 of \[2\]/\[3\], the engine behind Theorems 6.3 and 6.11).
 //!
 //! Given a bottom-up tree automaton `A` and an uncertain tree `E` (each node
 //! carrying either a fixed label or a Boolean event choosing between two

@@ -1,6 +1,6 @@
 //! Labelled full binary trees (`Γ-trees`).
 //!
-//! The constructions of [2] (recalled in Section 3 and used by Theorems 6.3
+//! The constructions of \[2\] (recalled in Section 3 and used by Theorems 6.3
 //! and 6.11) run bottom-up tree automata over tree encodings of treelike
 //! instances, and over probabilistic XML documents (the use case cited in the
 //! introduction). Both are full binary trees whose nodes carry labels from a
@@ -178,7 +178,7 @@ impl fmt::Display for BinaryTree {
 
 /// An uncertain labelled tree: every node carries either a fixed label or a
 /// Boolean *event* choosing between two labels. This is the "uncertain tree"
-/// of [2]'s Proposition 3.1 (and the data model of probabilistic XML without
+/// of \[2\]'s Proposition 3.1 (and the data model of probabilistic XML without
 /// data values, as cited in the introduction): each event is an independent
 /// Boolean variable, and a valuation of the events yields an ordinary
 /// [`BinaryTree`].

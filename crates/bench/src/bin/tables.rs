@@ -32,6 +32,9 @@ fn table2_upper() {
     header("Table 2 (upper bounds): lineage representations on treelike instances");
 
     // T2-U1 / T2-U2: bounded pathwidth -> constant-width OBDD, linear circuit.
+    // Compiled through the shared dd engine; the last columns report its
+    // store/cache statistics (nodes kept once under complement-edge sharing,
+    // persistent op-cache hit rate).
     println!("\n[T2-U1/U2] bounded-pathwidth chains, query R(x),S(x,y),T(y)");
     let sig = Signature::builder()
         .relation("R", 1)
@@ -40,8 +43,8 @@ fn table2_upper() {
         .build();
     let q = parse_query(&sig, "R(x), S(x, y), T(y)").unwrap();
     println!(
-        "{:>8} {:>10} {:>12} {:>12} {:>12}",
-        "n", "facts", "circuit", "obdd width", "obdd size"
+        "{:>8} {:>10} {:>12} {:>12} {:>12} {:>10} {:>10} {:>10} {:>8}",
+        "n", "facts", "circuit", "obdd width", "obdd size", "dd nodes", "hits", "misses", "hit%"
     );
     for n in [25usize, 50, 100, 200, 400] {
         let mut inst = Instance::new(sig.clone());
@@ -52,14 +55,19 @@ fn table2_upper() {
         }
         let builder = LineageBuilder::new(&q, &inst).unwrap();
         let circuit = builder.circuit();
-        let obdd = builder.obdd();
+        let (manager, root) = builder.dd();
+        let stats = manager.stats();
         println!(
-            "{:>8} {:>10} {:>12} {:>12} {:>12}",
+            "{:>8} {:>10} {:>12} {:>12} {:>12} {:>10} {:>10} {:>10} {:>7.1}%",
             n,
             inst.fact_count(),
             circuit.size(),
-            obdd.width(),
-            obdd.size()
+            manager.width(root),
+            manager.size(root),
+            stats.node_count,
+            stats.op_cache_hits,
+            stats.op_cache_misses,
+            stats.hit_rate_percent()
         );
     }
 
@@ -71,20 +79,24 @@ fn table2_upper() {
         .build();
     let q2 = parse_query(&sig2, "S(x, y), S(y, z), x != z").unwrap();
     println!(
-        "{:>8} {:>10} {:>12} {:>12} {:>12} {:>12}",
-        "n", "facts", "circuit", "obdd width", "obdd size", "ddnnf size"
+        "{:>8} {:>10} {:>12} {:>12} {:>12} {:>12} {:>10} {:>8}",
+        "n", "facts", "circuit", "obdd width", "obdd size", "ddnnf size", "dd nodes", "hit%"
     );
     for n in [20usize, 40, 80, 160] {
         let inst = encodings::random_treelike_instance(&sig2, n, 2, 7);
         let builder = LineageBuilder::new(&q2, &inst).unwrap();
+        let (manager, root) = builder.dd();
+        let stats = manager.stats();
         println!(
-            "{:>8} {:>10} {:>12} {:>12} {:>12} {:>12}",
+            "{:>8} {:>10} {:>12} {:>12} {:>12} {:>12} {:>10} {:>7.1}%",
             n,
             inst.fact_count(),
             builder.circuit().size(),
-            builder.obdd().width(),
-            builder.obdd().size(),
-            builder.ddnnf().size()
+            manager.width(root),
+            manager.size(root),
+            builder.ddnnf().size(),
+            stats.node_count,
+            stats.hit_rate_percent()
         );
     }
 
@@ -107,12 +119,15 @@ fn table2_upper() {
                 inst.add_fact_by_name("S", &[a, n + c]);
             }
         }
-        let width_orig = LineageBuilder::new(&q3, &inst).unwrap().obdd().width();
+        let width_orig = {
+            let (manager, root) = LineageBuilder::new(&q3, &inst).unwrap().dd();
+            manager.width(root)
+        };
         let unfolding = safe::unfold_for_query(&q3, &inst).unwrap();
-        let width_unf = LineageBuilder::new(&q3, &unfolding.instance)
-            .unwrap()
-            .obdd()
-            .width();
+        let width_unf = {
+            let (manager, root) = LineageBuilder::new(&q3, &unfolding.instance).unwrap().dd();
+            manager.width(root)
+        };
         println!(
             "{:>8} {:>10} {:>14} {:>14} {:>12}",
             n,

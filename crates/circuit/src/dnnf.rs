@@ -1,5 +1,5 @@
 //! d-DNNFs: deterministic decomposable negation normal forms
-//! (Definition 6.10 of the paper, following [20] and [36]).
+//! (Definition 6.10 of the paper, following \[20\] and \[36\]).
 //!
 //! A d-DNNF is a circuit where (1) negation is applied to inputs only,
 //! (2) the children of every AND gate depend on disjoint variables
@@ -114,7 +114,7 @@ impl Dnnf {
 
     /// Probability that the represented function is true when variable `v`
     /// is independently true with probability `prob(v)`. Linear in the
-    /// circuit size ([20]): OR children are mutually exclusive so their
+    /// circuit size (\[20\]): OR children are mutually exclusive so their
     /// probabilities add; AND children are independent so they multiply.
     pub fn probability(&self, prob: &dyn Fn(VarId) -> Rational) -> Rational {
         let mut values: Vec<Rational> = Vec::with_capacity(self.circuit.size());

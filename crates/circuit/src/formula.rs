@@ -3,7 +3,7 @@
 //! A formula is a tree-shaped circuit: subformulas cannot be shared. The
 //! paper's Section 7 shows that lineages that admit linear-size circuits can
 //! require super-linear formulas (threshold and parity functions, via the
-//! classical lower bounds of Wegener's book [51]); this module provides the
+//! classical lower bounds of Wegener's book \[51\]); this module provides the
 //! formula representation, its size measures, conversions to and from
 //! circuits, and the explicit constructions used by the Table 2 lower-bound
 //! experiments (divide-and-conquer threshold formulas, recursive parity
@@ -84,7 +84,7 @@ impl Formula {
 
     /// Returns `true` if the formula is *read-once*: every variable occurs at
     /// most once. Read-once formulas are the simplest tractable lineage class
-    /// of [36].
+    /// of \[36\].
     pub fn is_read_once(&self) -> bool {
         fn count(f: &Formula, seen: &mut BTreeSet<VarId>) -> bool {
             match f {
@@ -177,7 +177,7 @@ impl Formula {
 /// `T2(A ∪ B) = T2(A) ∨ T2(B) ∨ (T1(A) ∧ T1(B))`, giving `O(n log n)` leaves.
 /// This is the lineage of the CQ≠ query of Proposition 7.1 / 7.2 on the
 /// unary family instance, and the best-possible monotone formula size up to
-/// constants (Hansel's `Ω(n log n)` lower bound [31]).
+/// constants (Hansel's `Ω(n log n)` lower bound \[31\]).
 pub fn threshold2_formula(vars: &[VarId]) -> Formula {
     match vars.len() {
         0 | 1 => Formula::Const(false),
@@ -231,7 +231,7 @@ pub fn threshold2_circuit(vars: &[VarId]) -> Circuit {
 /// The parity function over `vars` as a formula, by the recursive splitting
 /// `parity(A ∪ B) = parity(A) ⊕ parity(B)` with XOR expanded over the
 /// {AND, OR, NOT} basis. Its leaf size is Θ(n²), matching the classical
-/// `Ω(n²)` lower bound ([51], used by Proposition 7.3).
+/// `Ω(n²)` lower bound (\[51\], used by Proposition 7.3).
 pub fn parity_formula(vars: &[VarId]) -> Formula {
     match vars.len() {
         0 => Formula::Const(false),

@@ -177,10 +177,31 @@ impl Obdd {
         self.apply(a, b, Op::Xor, &mut memo)
     }
 
-    /// Negation of an OBDD function.
+    /// Negation of an OBDD function: a dedicated memoized pass swapping the
+    /// terminals (one visit per reachable node, no binary-apply machinery —
+    /// previously this rebuilt the whole diagram as `xor(a, True)`). For
+    /// truly O(1) negation see the complement edges of `treelineage-dd`.
     pub fn not(&mut self, a: Ref) -> Ref {
-        let t = Ref::True;
-        self.xor(a, t)
+        let mut memo = HashMap::new();
+        self.not_rec(a, &mut memo)
+    }
+
+    fn not_rec(&mut self, r: Ref, memo: &mut HashMap<Ref, Ref>) -> Ref {
+        match r {
+            Ref::False => Ref::True,
+            Ref::True => Ref::False,
+            Ref::Node(i) => {
+                if let Some(&n) = memo.get(&r) {
+                    return n;
+                }
+                let Node { level, lo, hi } = self.nodes[i];
+                let lo = self.not_rec(lo, memo);
+                let hi = self.not_rec(hi, memo);
+                let result = self.make_node(level, lo, hi);
+                memo.insert(r, result);
+                result
+            }
+        }
     }
 
     fn apply(&mut self, a: Ref, b: Ref, op: Op, memo: &mut HashMap<(Ref, Ref), Ref>) -> Ref {
@@ -334,7 +355,7 @@ impl Obdd {
     /// Probability that the OBDD's function is true when each variable `v` is
     /// independently true with probability `prob(v)`. Linear in the OBDD size
     /// (probability evaluation for OBDDs is tractable, as used in Theorem 6.5
-    /// / [47]).
+    /// / \[47\]).
     pub fn probability(&self, prob: &dyn Fn(VarId) -> Rational) -> Rational {
         let mut memo: HashMap<Ref, Rational> = HashMap::new();
         self.prob_rec(self.root, prob, &mut memo)

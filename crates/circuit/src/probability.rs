@@ -7,7 +7,7 @@
 //! * [`Dnnf::probability`](crate::dnnf::Dnnf::probability) — linear time on
 //!   d-DNNFs (in the `dnnf` module);
 //! * [`probability_message_passing`] — the paper's "ra-linear" algorithm for
-//!   bounded-treewidth circuits (Theorem 3.2 via [40]): given a tree
+//!   bounded-treewidth circuits (Theorem 3.2 via \[40\]): given a tree
 //!   decomposition of the circuit's gate graph in which every gate appears in
 //!   a bag together with all of its inputs, probability evaluation runs in
 //!   time linear in the number of decomposition nodes and exponential only in

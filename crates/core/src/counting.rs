@@ -88,13 +88,13 @@ impl<'a> MatchCounter<'a> {
     pub fn count(&self) -> Result<BigUint, LineageError> {
         let (extended, base_facts, selection_facts) = self.extended_instance()?;
         let builder = LineageBuilder::new(self.query, &extended)?;
-        let obdd = builder.obdd();
-        // Condition the lineage on all base facts being present: probability
-        // with base facts at 1 and selection facts at 1/2, scaled by
-        // 2^{#selection facts}.
+        let (manager, root) = builder.dd();
+        // Condition the lineage on all base facts being present: weighted
+        // model counting with base facts at 1 and selection facts at 1/2,
+        // scaled by 2^{#selection facts}.
         use treelineage_num::Rational;
         let base: std::collections::BTreeSet<usize> = base_facts.iter().map(|f| f.0).collect();
-        let p = obdd.probability(&|v| {
+        let p = manager.probability(root, &|v| {
             if base.contains(&v) {
                 Rational::one()
             } else {

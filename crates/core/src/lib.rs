@@ -67,6 +67,7 @@ pub mod prelude {
         model_check, LineageBuilder, LineageError, MatchCounter, ProbabilityEvaluator,
     };
     pub use treelineage_circuit::{Circuit, Dnnf, Formula, Obdd};
+    pub use treelineage_dd::{Manager as DdManager, NodeId as DdNodeId, Stats as DdStats};
     pub use treelineage_graph::{Graph, TreeDecomposition};
     pub use treelineage_instance::{
         Element, FactId, Instance, ProbabilityValuation, RelationId, Signature,

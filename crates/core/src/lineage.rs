@@ -10,12 +10,17 @@
 //!
 //! * a monotone lineage **circuit** (Definition 6.2),
 //! * a reduced **OBDD** under a variable order derived from a tree or path
-//!   decomposition of the instance (the [35]-style order used by
+//!   decomposition of the instance (the \[35\]-style order used by
 //!   Theorems 6.5 / 6.7: facts are ordered by the decomposition bag that
 //!   covers them, so on bounded-pathwidth instances the orders of facts
 //!   relevant to distant bags never interleave and the width stays bounded),
 //! * a **d-DNNF** obtained from the OBDD (every decision node is a
-//!   deterministic OR of two decomposable ANDs).
+//!   deterministic OR of two decomposable ANDs),
+//! * a node in the shared [`treelineage_dd`] engine
+//!   ([`LineageBuilder::dd`] / [`LineageBuilder::compile_dd`]): the same
+//!   function under the same order, but hash-consed into a store with
+//!   complement edges and a persistent operation cache, which is what the
+//!   probability / counting pipelines and the benches run on.
 //!
 //! See DESIGN.md §2 (items 1 and 4) for how this relates to the paper's
 //! automaton-based linear-time construction: the functions represented are
@@ -128,7 +133,7 @@ impl<'a> LineageBuilder<'a> {
     }
 
     /// The variable (fact) order derived from the decomposition, in the style
-    /// of [35]: bags are laid out by a depth-first traversal (children
+    /// of \[35\]: bags are laid out by a depth-first traversal (children
     /// visited in increasing subtree size) and every fact is placed at the
     /// first bag containing all of its elements.
     pub fn variable_order(&self) -> Vec<VarId> {
@@ -136,19 +141,49 @@ impl<'a> LineageBuilder<'a> {
         variable_order_from_decomposition(self.instance, &td)
     }
 
-    /// The reduced OBDD of the lineage under [`LineageBuilder::variable_order`].
-    pub fn obdd(&self) -> Obdd {
-        let circuit = self.circuit();
+    /// [`LineageBuilder::variable_order`] extended with the facts that never
+    /// occur in a match, so model counts range over all facts.
+    fn full_variable_order(&self) -> Vec<VarId> {
         let mut order = self.variable_order();
-        // Facts that never occur in a match must still be in the order so
-        // that model counts range over all facts.
         let present: BTreeSet<VarId> = order.iter().copied().collect();
         for f in self.instance.fact_ids() {
             if !present.contains(&f.0) {
                 order.push(f.0);
             }
         }
-        Obdd::from_circuit(&circuit, order)
+        order
+    }
+
+    /// The reduced OBDD of the lineage under [`LineageBuilder::variable_order`]
+    /// (the legacy per-diagram construction, kept as the literal-to-the-paper
+    /// object and differential-testing oracle; the engine the pipelines run
+    /// on is [`LineageBuilder::dd`]).
+    pub fn obdd(&self) -> Obdd {
+        Obdd::from_circuit(&self.circuit(), self.full_variable_order())
+    }
+
+    /// A fresh shared-engine manager over this lineage's variable order
+    /// (every fact of the instance is in the order). Compile with
+    /// [`LineageBuilder::compile_dd`]; reuse the manager across related
+    /// compilations to profit from its persistent operation cache.
+    pub fn dd_manager(&self) -> treelineage_dd::Manager {
+        treelineage_dd::Manager::new(self.full_variable_order())
+    }
+
+    /// Compiles the lineage into a shared engine manager (created by
+    /// [`LineageBuilder::dd_manager`] on an instance with the same fact
+    /// order) and returns the root node. Recompilations hit the manager's
+    /// persistent cache.
+    pub fn compile_dd(&self, manager: &mut treelineage_dd::Manager) -> treelineage_dd::NodeId {
+        manager.compile_circuit(&self.circuit())
+    }
+
+    /// One-shot compilation into the shared engine: a fresh manager plus the
+    /// root node of the lineage.
+    pub fn dd(&self) -> (treelineage_dd::Manager, treelineage_dd::NodeId) {
+        let mut manager = self.dd_manager();
+        let root = self.compile_dd(&mut manager);
+        (manager, root)
     }
 
     /// A d-DNNF for the lineage, obtained by viewing the (reduced) OBDD as a
@@ -163,8 +198,10 @@ impl<'a> LineageBuilder<'a> {
 
 /// Derives a fact order from a tree decomposition of the instance's Gaifman
 /// graph: a depth-first layout of the bags (children in increasing subtree
-/// size, mirroring the in-order traversal ΠR of [35]) and, within the layout,
-/// facts attached to the first bag covering them.
+/// size, mirroring the in-order traversal ΠR of \[35\]) and, within the layout,
+/// facts attached to the first bag covering them. The layout and placement
+/// are [`treelineage_dd::order`]'s; this function only translates facts into
+/// vertex sets of the Gaifman graph.
 pub fn variable_order_from_decomposition(
     instance: &Instance,
     td: &TreeDecomposition,
@@ -175,77 +212,18 @@ pub fn variable_order_from_decomposition(
     if td.bag_count() == 0 {
         return instance.fact_ids().map(|f| f.0).collect();
     }
-    // Depth-first layout of the decomposition tree rooted at bag 0, visiting
-    // children by increasing subtree size.
-    let mut subtree_size = vec![1usize; td.bag_count()];
-    let order_of_bags = {
-        // Compute subtree sizes with an iterative post-order from bag 0.
-        let mut parent = vec![usize::MAX; td.bag_count()];
-        let mut post = Vec::new();
-        let mut stack = vec![(0usize, usize::MAX, false)];
-        while let Some((bag, from, expanded)) = stack.pop() {
-            if expanded {
-                post.push(bag);
-                continue;
-            }
-            parent[bag] = from;
-            stack.push((bag, from, true));
-            for &next in td.tree_neighbors(bag) {
-                if next != from {
-                    stack.push((next, bag, false));
-                }
-            }
-        }
-        for &bag in &post {
-            for &next in td.tree_neighbors(bag) {
-                if next != parent[bag] {
-                    subtree_size[bag] += subtree_size[next];
-                }
-            }
-        }
-        // Pre-order traversal with children sorted by subtree size.
-        let mut layout = Vec::with_capacity(td.bag_count());
-        let mut stack = vec![(0usize, usize::MAX)];
-        while let Some((bag, from)) = stack.pop() {
-            layout.push(bag);
-            let mut children: Vec<usize> = td
-                .tree_neighbors(bag)
-                .iter()
-                .copied()
-                .filter(|&n| n != from)
-                .collect();
-            // Larger subtrees are pushed first so that smaller ones are
-            // visited first (stack order).
-            children.sort_by_key(|&c| std::cmp::Reverse(subtree_size[c]));
-            for c in children {
-                stack.push((c, bag));
-            }
-        }
-        layout
-    };
-    let bag_position: BTreeMap<usize, usize> = order_of_bags
-        .iter()
-        .enumerate()
-        .map(|(pos, &bag)| (bag, pos))
+    // Facts are indexed by id (`facts()` iterates in id order), so the item
+    // permutation returned by the placement is directly the fact order.
+    let items: Vec<BTreeSet<Vertex>> = instance
+        .facts()
+        .map(|(_, fact)| {
+            fact.elements()
+                .into_iter()
+                .map(|e| element_to_vertex[&e])
+                .collect()
+        })
         .collect();
-    // Attach each fact to the earliest bag (in layout order) containing all
-    // of its elements.
-    let mut keyed: Vec<(usize, usize)> = Vec::with_capacity(instance.fact_count());
-    for (id, fact) in instance.facts() {
-        let vertices: Vec<Vertex> = fact
-            .elements()
-            .into_iter()
-            .map(|e| element_to_vertex[&e])
-            .collect();
-        let position = order_of_bags
-            .iter()
-            .find(|&&bag| vertices.iter().all(|v| td.bag(bag).contains(v)))
-            .map(|bag| bag_position[bag])
-            .unwrap_or(usize::MAX);
-        keyed.push((position, id.0));
-    }
-    keyed.sort_unstable();
-    keyed.into_iter().map(|(_, id)| id).collect()
+    treelineage_dd::order::order_by_first_covering_bag(td, &items)
 }
 
 /// Converts a reduced OBDD into an equivalent circuit that satisfies the
@@ -326,6 +304,7 @@ mod tests {
         let circuit = builder.circuit();
         let obdd = builder.obdd();
         let ddnnf = builder.ddnnf();
+        let (manager, root) = builder.dd();
         let n = instance.fact_count();
         assert!(n <= 16, "oracle check limited to 16 facts");
         for mask in 0u32..(1 << n) {
@@ -348,7 +327,21 @@ mod tests {
                 expected,
                 "ddnnf, mask {mask}"
             );
+            assert_eq!(
+                manager.evaluate(root, &world_vars),
+                expected,
+                "dd, mask {mask}"
+            );
         }
+        // The shared engine reports the same canonical width/size/count as
+        // the legacy reduced OBDD under the same order.
+        assert_eq!(manager.level_sizes(root), obdd.level_sizes());
+        assert_eq!(manager.width(root), obdd.width());
+        assert_eq!(manager.size(root), obdd.size());
+        assert_eq!(
+            manager.count_models(root).to_u64(),
+            obdd.count_models().to_u64()
+        );
     }
 
     #[test]

@@ -4,10 +4,13 @@
 //! The probability of a UCQ≠ on a TID instance is the total weight of the
 //! possible worlds (fact subsets) satisfying the query. [`ProbabilityEvaluator`]
 //! computes it exactly, over [`Rational`] numbers, by compiling the query
-//! lineage (see [`crate::lineage`]) and evaluating the probability of the
-//! resulting OBDD / d-DNNF in time linear in the representation — the
-//! "ra-linear modulo compilation" pipeline that the paper's upper bounds
-//! describe. A brute-force possible-worlds oracle is provided for testing.
+//! lineage (see [`crate::lineage`]) into the shared [`treelineage_dd`]
+//! engine and evaluating the weighted model count of the resulting diagram
+//! in time linear in its (shared) size — the "ra-linear modulo compilation"
+//! pipeline that the paper's upper bounds describe. The legacy per-diagram
+//! OBDD and the d-DNNF pipelines are kept alongside (they answer the same
+//! queries and the benches time the engines against each other), and a
+//! brute-force possible-worlds oracle is provided for testing.
 
 use crate::lineage::{LineageBuilder, LineageError};
 use std::collections::BTreeSet;
@@ -46,18 +49,41 @@ impl<'a> ProbabilityEvaluator<'a> {
         self
     }
 
-    /// The probability that the query holds, computed through the OBDD
-    /// lineage (Theorem 6.5 / 6.7 pipeline).
+    /// The probability that the query holds, computed through the shared
+    /// decision-diagram engine (Theorem 6.5 / 6.7 pipeline: compile the
+    /// lineage under a decomposition-derived order, then one weighted
+    /// model-counting pass over the shared nodes).
     pub fn query_probability(
         &self,
         query: &UnionOfConjunctiveQueries,
     ) -> Result<Rational, LineageError> {
+        let builder = self.builder(query)?;
+        let (manager, root) = builder.dd();
+        Ok(manager.probability(root, &|v| self.valuation.probability(FactId(v)).clone()))
+    }
+
+    /// The probability computed through the legacy per-diagram OBDD
+    /// construction ([`treelineage_circuit::Obdd`]). Always equal to
+    /// [`ProbabilityEvaluator::query_probability`]; kept as the
+    /// paper-literal pipeline and for differential testing / benchmarking
+    /// against the shared engine.
+    pub fn query_probability_via_legacy_obdd(
+        &self,
+        query: &UnionOfConjunctiveQueries,
+    ) -> Result<Rational, LineageError> {
+        let obdd = self.builder(query)?.obdd();
+        Ok(obdd.probability(&|v| self.valuation.probability(FactId(v)).clone()))
+    }
+
+    fn builder<'q>(
+        &'q self,
+        query: &'q UnionOfConjunctiveQueries,
+    ) -> Result<LineageBuilder<'q>, LineageError> {
         let mut builder = LineageBuilder::new(query, self.instance)?;
         if let Some(td) = &self.decomposition {
             builder = builder.with_decomposition(td.clone())?;
         }
-        let obdd = builder.obdd();
-        Ok(obdd.probability(&|v| self.valuation.probability(FactId(v)).clone()))
+        Ok(builder)
     }
 
     /// The probability that the query holds, computed through the d-DNNF
@@ -68,11 +94,7 @@ impl<'a> ProbabilityEvaluator<'a> {
         &self,
         query: &UnionOfConjunctiveQueries,
     ) -> Result<Rational, LineageError> {
-        let mut builder = LineageBuilder::new(query, self.instance)?;
-        if let Some(td) = &self.decomposition {
-            builder = builder.with_decomposition(td.clone())?;
-        }
-        let ddnnf = builder.ddnnf();
+        let ddnnf = self.builder(query)?.ddnnf();
         Ok(ddnnf.probability(&|v| self.valuation.probability(FactId(v)).clone()))
     }
 
@@ -87,11 +109,8 @@ impl<'a> ProbabilityEvaluator<'a> {
     /// scaled by `2^{|I|}`) satisfying the query — the model counting problem
     /// related to probability evaluation by footnote 3 of the paper.
     pub fn model_count(&self, query: &UnionOfConjunctiveQueries) -> Result<BigUint, LineageError> {
-        let mut builder = LineageBuilder::new(query, self.instance)?;
-        if let Some(td) = &self.decomposition {
-            builder = builder.with_decomposition(td.clone())?;
-        }
-        Ok(builder.obdd().count_models())
+        let (manager, root) = self.builder(query)?.dd();
+        Ok(manager.count_models(root))
     }
 
     /// Brute-force model count (oracle); limited to 20 facts.
@@ -156,6 +175,11 @@ mod tests {
             assert_eq!(evaluator.query_probability(&q).unwrap(), expected, "n={n}");
             assert_eq!(
                 evaluator.query_probability_via_ddnnf(&q).unwrap(),
+                expected,
+                "n={n}"
+            );
+            assert_eq!(
+                evaluator.query_probability_via_legacy_obdd(&q).unwrap(),
                 expected,
                 "n={n}"
             );

@@ -1,7 +1,7 @@
 //! Positive relational algebra and Datalog with provenance
 //! (the "any instance" rows of Table 2: monotone lineage formulas for the
-//! positive relational algebra [34] and monotone provenance circuits for
-//! Datalog [21]).
+//! positive relational algebra \[34\] and monotone provenance circuits for
+//! Datalog \[21\]).
 //!
 //! These two rows of Table 2 are the baselines the paper contrasts with its
 //! treewidth-based constructions: on *arbitrary* instances, positive
@@ -60,7 +60,7 @@ pub enum RaExpression {
 
 /// The result of evaluating an [`RaExpression`] with provenance: each output
 /// row is annotated with a monotone lineage [`Formula`] over the instance's
-/// fact ids ([34]-style Boolean provenance).
+/// fact ids (\[34\]-style Boolean provenance).
 pub fn evaluate_ra(expression: &RaExpression, instance: &Instance) -> BTreeMap<Row, Formula> {
     match expression {
         RaExpression::Relation(relation) => {
@@ -223,7 +223,7 @@ impl DatalogProgram {
 
 /// The provenance-carrying result of a Datalog evaluation: for every IDB
 /// predicate, the derived rows with their provenance gate in the
-/// accompanying monotone circuit ([21]-style provenance circuits).
+/// accompanying monotone circuit (\[21\]-style provenance circuits).
 pub struct DatalogProvenance {
     /// The monotone provenance circuit; variable `i` is fact `FactId(i)`.
     pub circuit: Circuit,

@@ -1,0 +1,110 @@
+//! Node references with complement edges.
+//!
+//! A [`NodeId`] packs an index into the shared node store together with a
+//! *complement bit* in its lowest bit. The node at index 0 is the unique
+//! terminal (the constant **true**); the constant **false** is its
+//! complement. Negation is therefore a single bit flip — O(1) and allocation
+//! free — and a function and its negation share all of their decision nodes,
+//! which is the classic complement-edge representation of Brace–Rudell–Bryant
+//! style BDD packages.
+//!
+//! Canonicity is preserved by the manager's node constructor, which never
+//! stores a node whose *high* child is complemented (see
+//! [`crate::Manager::make_node`]); under that invariant two [`NodeId`]s are
+//! equal if and only if they denote the same Boolean function within one
+//! manager.
+
+/// A reference to a decision-diagram node, with a complement edge in the low
+/// bit.
+///
+/// `NodeId`s are only meaningful relative to the [`crate::Manager`] that
+/// created them; comparing ids across managers is meaningless (but safe).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The constant **true** (the terminal node, uncomplemented).
+    pub const TRUE: NodeId = NodeId(0);
+    /// The constant **false** (the terminal node, complemented).
+    pub const FALSE: NodeId = NodeId(1);
+
+    /// Builds a reference from a store index and a complement flag.
+    pub(crate) fn new(index: u32, complement: bool) -> NodeId {
+        NodeId(index << 1 | complement as u32)
+    }
+
+    /// The index of the referenced node in the manager's store.
+    pub(crate) fn index(self) -> u32 {
+        self.0 >> 1
+    }
+
+    /// Whether the reference carries a complement edge.
+    pub fn is_complement(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Whether this is one of the two constants.
+    pub fn is_terminal(self) -> bool {
+        self.index() == 0
+    }
+
+    /// The negation of the referenced function: a single bit flip, O(1).
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> NodeId {
+        NodeId(self.0 ^ 1)
+    }
+
+    /// Applies this reference's complement bit to a child reference (used
+    /// when traversing through a complemented edge).
+    pub(crate) fn apply_parity(self, child: NodeId) -> NodeId {
+        NodeId(child.0 ^ (self.0 & 1))
+    }
+}
+
+impl std::ops::Not for NodeId {
+    type Output = NodeId;
+    fn not(self) -> NodeId {
+        NodeId::not(self)
+    }
+}
+
+/// An internal decision node in the shared store: the level of its variable
+/// in the manager's order and its two children. The high child is never
+/// complemented (the canonicity invariant).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub(crate) struct Node {
+    /// Position of the tested variable in the order (`u32::MAX` marks the
+    /// terminal sentinel at index 0).
+    pub level: u32,
+    /// Child followed when the variable is false.
+    pub lo: NodeId,
+    /// Child followed when the variable is true (always uncomplemented).
+    pub hi: NodeId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complement_is_an_involution() {
+        assert_eq!(NodeId::TRUE.not(), NodeId::FALSE);
+        assert_eq!(NodeId::FALSE.not(), NodeId::TRUE);
+        let n = NodeId::new(7, false);
+        assert_eq!(n.not().not(), n);
+        assert!(!n.is_complement());
+        assert!(n.not().is_complement());
+        assert_eq!(n.not().index(), 7);
+        assert_eq!(n.index(), 7);
+    }
+
+    #[test]
+    fn parity_propagation() {
+        let plain = NodeId::new(3, false);
+        let comp = plain.not();
+        let child = NodeId::new(5, false);
+        assert_eq!(plain.apply_parity(child), child);
+        assert_eq!(comp.apply_parity(child), child.not());
+        assert_eq!(comp.apply_parity(child.not()), child);
+    }
+}

@@ -1,0 +1,45 @@
+//! Engine statistics.
+
+/// A snapshot of a [`crate::Manager`]'s store and cache counters, for the
+/// experiment harness and for tuning.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Stats {
+    /// Decision nodes allocated in the shared store (terminals excluded).
+    pub node_count: usize,
+    /// Entries in the unique (hash-consing) table; equals `node_count` since
+    /// nodes are never garbage collected.
+    pub unique_table_len: usize,
+    /// Entries in the persistent operation cache.
+    pub op_cache_len: usize,
+    /// Operation-cache hits since the manager was created.
+    pub op_cache_hits: u64,
+    /// Operation-cache misses since the manager was created.
+    pub op_cache_misses: u64,
+}
+
+impl Stats {
+    /// Cache hit rate in percent (0 when no lookups happened yet).
+    pub fn hit_rate_percent(&self) -> f64 {
+        let total = self.op_cache_hits + self.op_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.op_cache_hits as f64 * 100.0 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for Stats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "nodes {} | unique {} | cache {} ({} hits / {} misses, {:.1}%)",
+            self.node_count,
+            self.unique_table_len,
+            self.op_cache_len,
+            self.op_cache_hits,
+            self.op_cache_misses,
+            self.hit_rate_percent()
+        )
+    }
+}

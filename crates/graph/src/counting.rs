@@ -1,7 +1,7 @@
 //! Exact counting of combinatorial structures used as reduction sources.
 //!
 //! * **Matchings** (edge subsets with no two incident edges): counting them is
-//!   #P-hard on 3-regular planar graphs [52], and Theorem 4.2 reduces from
+//!   #P-hard on 3-regular planar graphs \[52\], and Theorem 4.2 reduces from
 //!   this problem. We provide a brute-force counter (oracle for tests) and a
 //!   linear-time dynamic program over a tree decomposition (the tractable
 //!   counterpart on treelike inputs, and the reference value for the
@@ -10,7 +10,7 @@
 //!   MSO-definable match-counting workload (Theorem 5.7 experiments).
 //! * **Hamiltonian cycles**, counted by brute force on small graphs
 //!   (Theorem 5.7 reduces from counting them on planar 3-regular graphs
-//!   [41]).
+//!   \[41\]).
 
 use crate::decomposition::TreeDecomposition;
 use crate::graph::{Graph, Vertex};

@@ -178,7 +178,7 @@ pub fn ladder_graph(n: usize) -> Graph {
 
 /// The circular ladder (prism) graph `CL_n` for `n >= 3`: a ladder closed into
 /// a cycle. It is 3-regular and planar — the family of hard inputs for
-/// matching counting in Theorem 4.2 ([52] shows #Matchings is #P-hard on
+/// matching counting in Theorem 4.2 (\[52\] shows #Matchings is #P-hard on
 /// 3-regular planar graphs).
 pub fn circular_ladder_graph(n: usize) -> Graph {
     assert!(n >= 3, "a prism needs at least 3 rungs");

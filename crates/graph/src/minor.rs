@@ -3,7 +3,7 @@
 //! An embedding of `H` in `G` maps vertices of `H` injectively to vertices of
 //! `G` and edges of `H` to vertex-disjoint paths of `G` between the images of
 //! their endpoints. The paper uses the polynomial grid-minor theorem of
-//! Chekuri and Chuzhoy [10] (Lemma 4.4) to extract degree-3 planar topological
+//! Chekuri and Chuzhoy \[10\] (Lemma 4.4) to extract degree-3 planar topological
 //! minors from any graph of sufficiently large treewidth. Reimplementing that
 //! extractor is out of scope (see DESIGN.md §2); instead we provide:
 //!

@@ -5,7 +5,7 @@
 //! in `F`; the tree-depth of `G` is the minimum height of such a forest.
 //! Section 9 shows that unfoldings of ranked instances under inversion-free
 //! UCQs have tree-depth at most `arity(σ)`, hence bounded pathwidth and
-//! treewidth (pathwidth ≤ tree-depth − 1, [5] / Lemma 11 as cited).
+//! treewidth (pathwidth ≤ tree-depth − 1, \[5\] / Lemma 11 as cited).
 
 use crate::graph::{Graph, Vertex};
 use std::collections::BTreeSet;

@@ -22,7 +22,7 @@
 #![warn(missing_docs)]
 
 use treelineage::LineageBuilder;
-use treelineage_circuit::Obdd;
+use treelineage_dd::{Manager, NodeId};
 use treelineage_graph::{counting, Graph};
 use treelineage_instance::{encodings, Instance, ProbabilityValuation, RelationId, Signature};
 use treelineage_num::{BigUint, Rational};
@@ -94,9 +94,8 @@ pub fn matching_reduction(graph: &Graph) -> MatchingReduction {
     let e = signature.relation_by_name("E").unwrap();
     let instance = encodings::graph_instance(graph, &signature, e);
     let query = qp(&signature);
-    let builder = LineageBuilder::new(&query, &instance).expect("same signature");
-    let obdd = builder.obdd();
-    let p_violation = obdd.probability(&|_| Rational::one_half());
+    let (manager, root) = lineage_dd(&query, &instance);
+    let p_violation = manager.probability(root, &|_| Rational::one_half());
     let p_matching = p_violation.complement();
     let scaled = &p_matching * &Rational::from_biguint(BigUint::pow2(instance.fact_count()));
     assert!(scaled.denominator().is_one());
@@ -118,10 +117,9 @@ pub fn matching_probability(graph: &Graph, valuation: &ProbabilityValuation) -> 
     let instance = encodings::graph_instance(graph, &signature, e);
     assert_eq!(valuation.len(), instance.fact_count());
     let query = qp(&signature);
-    let builder = LineageBuilder::new(&query, &instance).expect("same signature");
-    builder
-        .obdd()
-        .probability(&|v| {
+    let (manager, root) = lineage_dd(&query, &instance);
+    manager
+        .probability(root, &|v| {
             valuation
                 .probability(treelineage_instance::FactId(v))
                 .clone()
@@ -129,16 +127,44 @@ pub fn matching_probability(graph: &Graph, valuation: &ProbabilityValuation) -> 
         .complement()
 }
 
-/// The OBDD of the lineage of q_p on the `n x n` grid instance over a single
-/// binary relation, under the decomposition-derived variable order. Lemma 8.2
-/// shows that its width must be at least `2^{Ω(tw^{1/d})}`; the experiments
-/// report the measured widths. Returns `(width, size)`.
-pub fn obdd_width_of_qp_on_grid(n: usize) -> (usize, usize) {
+/// The query/instance pair of the grid experiments: q_p on the `n x n` grid
+/// over a single binary relation. Exposed so the benches can compile the
+/// same family through different engines (and reuse a shared manager across
+/// iterations).
+pub fn qp_grid_family(n: usize) -> (UnionOfConjunctiveQueries, Instance) {
     let signature = Signature::builder().relation("S", 2).build();
     let s = signature.relation_by_name("S").unwrap();
     let instance = encodings::grid_instance(&signature, s, n, n);
-    let query = qp(&signature);
-    let obdd = lineage_obdd(&query, &instance);
+    (qp(&signature), instance)
+}
+
+/// The query/instance pair of the chain experiments: q_p on a chain of
+/// S-facts (treewidth 1).
+pub fn qp_chain_family(length: usize) -> (UnionOfConjunctiveQueries, Instance) {
+    let signature = Signature::builder().relation("S", 2).build();
+    let s = signature.relation_by_name("S").unwrap();
+    let instance = encodings::chain_instance(&signature, &[s], length);
+    (qp(&signature), instance)
+}
+
+/// The OBDD of the lineage of q_p on the `n x n` grid instance over a single
+/// binary relation, under the decomposition-derived variable order. Lemma 8.2
+/// shows that its width must be at least `2^{Ω(tw^{1/d})}`; the experiments
+/// report the measured widths. Returns `(width, size)` (canonical, measured
+/// through the shared `treelineage-dd` engine).
+pub fn obdd_width_of_qp_on_grid(n: usize) -> (usize, usize) {
+    let (query, instance) = qp_grid_family(n);
+    width_and_size(&query, &instance)
+}
+
+/// [`obdd_width_of_qp_on_grid`] computed through the legacy per-diagram
+/// `treelineage_circuit::Obdd` construction — same numbers, no shared
+/// store; kept so the benches can time the engines head to head.
+pub fn obdd_width_of_qp_on_grid_legacy(n: usize) -> (usize, usize) {
+    let (query, instance) = qp_grid_family(n);
+    let obdd = LineageBuilder::new(&query, &instance)
+        .expect("same signature")
+        .obdd();
     (obdd.width(), obdd.size())
 }
 
@@ -146,12 +172,8 @@ pub fn obdd_width_of_qp_on_grid(n: usize) -> (usize, usize) {
 /// instance of comparable size (a chain of S-facts), the tractable side of
 /// the same comparison.
 pub fn obdd_width_of_qp_on_chain(length: usize) -> (usize, usize) {
-    let signature = Signature::builder().relation("S", 2).build();
-    let s = signature.relation_by_name("S").unwrap();
-    let instance = encodings::chain_instance(&signature, &[s], length);
-    let query = qp(&signature);
-    let obdd = lineage_obdd(&query, &instance);
-    (obdd.width(), obdd.size())
+    let (query, instance) = qp_chain_family(length);
+    width_and_size(&query, &instance)
 }
 
 /// OBDD width of the non-intricate query `R(x) ∧ S(x,y) ∧ T(y)` on the S-grid
@@ -166,20 +188,25 @@ pub fn obdd_width_of_unsafe_query_on_s_grid(n: usize) -> (usize, usize) {
     let s = signature.relation_by_name("S").unwrap();
     let instance = encodings::grid_instance(&signature, s, n, n);
     let query = parse_query(&signature, "R(x), S(x, y), T(y)").unwrap();
-    let obdd = lineage_obdd(&query, &instance);
-    (obdd.width(), obdd.size())
+    width_and_size(&query, &instance)
+}
+
+/// The query/instance pair of Proposition 8.9's experiment: a
+/// homomorphism-closed UCQ on the complete bipartite directed family.
+pub fn ucq_bipartite_family(n: usize) -> (UnionOfConjunctiveQueries, Instance) {
+    let signature = Signature::builder().relation("S", 2).build();
+    let s = signature.relation_by_name("S").unwrap();
+    let instance = encodings::complete_bipartite_instance(&signature, s, n);
+    let query = parse_query(&signature, "S(x, y), S(x, z) | S(x, y), S(z, y)").unwrap();
+    (query, instance)
 }
 
 /// OBDD width of a homomorphism-closed query (a UCQ) on the complete
 /// bipartite directed family of Proposition 8.9: constant width regardless
 /// of `n`.
 pub fn obdd_width_of_ucq_on_bipartite(n: usize) -> (usize, usize) {
-    let signature = Signature::builder().relation("S", 2).build();
-    let s = signature.relation_by_name("S").unwrap();
-    let instance = encodings::complete_bipartite_instance(&signature, s, n);
-    let query = parse_query(&signature, "S(x, y), S(x, z) | S(x, y), S(z, y)").unwrap();
-    let obdd = lineage_obdd(&query, &instance);
-    (obdd.width(), obdd.size())
+    let (query, instance) = ucq_bipartite_family(n);
+    width_and_size(&query, &instance)
 }
 
 /// OBDD width of the disconnected query q_d on the `n x n` grid (Proposition
@@ -189,14 +216,22 @@ pub fn obdd_width_of_qd_on_grid(n: usize) -> (usize, usize) {
     let s = signature.relation_by_name("S").unwrap();
     let instance = encodings::grid_instance(&signature, s, n, n);
     let query = qd(&signature);
-    let obdd = lineage_obdd(&query, &instance);
-    (obdd.width(), obdd.size())
+    width_and_size(&query, &instance)
 }
 
-fn lineage_obdd(query: &UnionOfConjunctiveQueries, instance: &Instance) -> Obdd {
+/// Compiles the lineage into a fresh shared-engine manager.
+fn lineage_dd(query: &UnionOfConjunctiveQueries, instance: &Instance) -> (Manager, NodeId) {
     LineageBuilder::new(query, instance)
         .expect("same signature")
-        .obdd()
+        .dd()
+}
+
+/// Width and size of the lineage's canonical OBDD, measured on the shared
+/// engine (identical numbers to the legacy construction, per the
+/// complement-edge width equivalence — see `treelineage-dd`'s docs).
+fn width_and_size(query: &UnionOfConjunctiveQueries, instance: &Instance) -> (usize, usize) {
+    let (manager, root) = lineage_dd(query, instance);
+    (manager.width(root), manager.size(root))
 }
 
 /// The treewidth-0 lineage family of Propositions 7.1 / 7.2: the CQ≠
@@ -307,6 +342,17 @@ mod tests {
             "chain widths must stay constant"
         );
         assert!(w4 > chain_w_large);
+    }
+
+    #[test]
+    fn dd_and_legacy_engines_report_identical_grid_widths() {
+        for n in [2usize, 3] {
+            assert_eq!(
+                obdd_width_of_qp_on_grid(n),
+                obdd_width_of_qp_on_grid_legacy(n),
+                "n={n}"
+            );
+        }
     }
 
     #[test]

@@ -132,7 +132,7 @@ impl Rational {
         self.denominator.is_one() && self.numerator == BigInt::one()
     }
 
-    /// Returns `true` if the value lies in the closed interval [0, 1]
+    /// Returns `true` if the value lies in the closed interval \[0, 1\]
     /// (i.e. it is a valid probability).
     pub fn is_probability(&self) -> bool {
         !self.numerator.is_negative() && self.numerator.magnitude() <= &self.denominator

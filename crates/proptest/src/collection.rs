@@ -4,7 +4,7 @@ use std::ops::Range;
 
 use crate::strategy::{SampleUniform, Strategy, TestRng};
 
-/// Strategy returned by [`vec`].
+/// Strategy returned by [`vec()`].
 #[derive(Clone, Debug)]
 pub struct VecStrategy<S> {
     element: S,

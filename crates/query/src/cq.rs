@@ -97,7 +97,7 @@ impl ConjunctiveQuery {
     }
 
     /// Returns `true` if no relation symbol occurs in two different atoms
-    /// (a *self-join-free* / non-repeating query, as in [23]).
+    /// (a *self-join-free* / non-repeating query, as in \[23\]).
     pub fn is_self_join_free(&self) -> bool {
         let mut seen = BTreeSet::new();
         self.atoms.iter().all(|a| seen.insert(a.relation))
@@ -142,7 +142,7 @@ impl ConjunctiveQuery {
     /// Returns `true` if the query is *hierarchical*: for every two variables
     /// `x`, `y`, the sets of atoms containing them are either disjoint or one
     /// contains the other. Hierarchical self-join-free CQs are exactly the
-    /// safe ones in the dichotomy of [19], and hierarchical structure
+    /// safe ones in the dichotomy of \[19\], and hierarchical structure
     /// underlies the inversion-free expressions of Section 9.
     pub fn is_hierarchical(&self) -> bool {
         let occurrences: Vec<BTreeSet<usize>> = self

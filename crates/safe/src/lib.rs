@@ -7,14 +7,14 @@
 //! an instance of tree-depth at most `arity(σ)` — without changing the
 //! query's lineage (Theorem 9.7). Bounded tree-depth implies bounded
 //! pathwidth and treewidth, so the constant-width OBDDs of inversion-free
-//! UCQs (Theorem 9.6, [36]) are explained by the bounded-pathwidth
+//! UCQs (Theorem 9.6, \[36\]) are explained by the bounded-pathwidth
 //! tractability of Theorem 6.7.
 //!
 //! This crate implements:
 //! * detection of hierarchical / inversion-free UCQs via a search for
 //!   compatible per-relation attribute orders (Definition C.1 specialised to
 //!   the constant-free, ranked queries used throughout the paper — the
-//!   general inversion-free test of [36] is not reimplemented, see
+//!   general inversion-free test of \[36\] is not reimplemented, see
 //!   DESIGN.md §2);
 //! * the ranking check for instances (Section 9's ranking transformation is
 //!   assumed to have been applied; we verify it rather than re-deriving it);
@@ -134,7 +134,7 @@ pub fn is_inversion_free(query: &UnionOfConjunctiveQueries) -> bool {
 
 /// Returns `true` if the instance is *ranked*: under the order of element
 /// ids, the arguments of every fact are strictly increasing (Section 9). The
-/// ranking transformation of [16, 18] that establishes this property is
+/// ranking transformation of \[16, 18\] that establishes this property is
 /// assumed to have been applied upstream.
 pub fn is_ranked_instance(instance: &Instance) -> bool {
     instance
@@ -278,7 +278,7 @@ pub fn unfolded_pathwidth(unfolding: &Unfolding) -> usize {
 }
 
 /// Returns `true` if the given self-join-free CQ is safe in the sense of the
-/// Dalvi–Suciu dichotomy [19]: for self-join-free conjunctive queries,
+/// Dalvi–Suciu dichotomy \[19\]: for self-join-free conjunctive queries,
 /// safety coincides with being hierarchical. Used by the examples to connect
 /// the two tractability conditions.
 pub fn is_safe_self_join_free_cq(query: &ConjunctiveQuery) -> bool {
@@ -408,7 +408,8 @@ mod tests {
             }
             let unfolding = unfold_for_query(&q, &inst).unwrap();
             let builder = LineageBuilder::new(&q, &unfolding.instance).unwrap();
-            widths.push(builder.obdd().width());
+            let (manager, root) = builder.dd();
+            widths.push(manager.width(root));
         }
         assert_eq!(widths[1], widths[2], "widths {widths:?}");
     }
