@@ -13,7 +13,14 @@
 //! * [`provenance_circuit`] — the linear-time provenance circuit of an
 //!   automaton on an uncertain tree (Proposition 3.1 of \[2\]), which is a
 //!   d-DNNF when the automaton is deterministic (the key step of
-//!   Theorem 6.11).
+//!   Theorem 6.11);
+//! * [`compile_structured_dnnf`] — the constructive form of that theorem: a
+//!   *certified*, smooth d-SDNNF with a vtree witness read off the tree,
+//!   supporting one-pass probability, weighted model counting and model
+//!   counting;
+//! * [`strategies`] — reusable property-testing generators for random
+//!   uncertain trees and deterministic automata, shared with the
+//!   workspace-level cross-backend differential suite.
 //!
 //! The instance-side pipeline (tree encodings of bounded-treewidth relational
 //! instances and query compilation) lives in the core `treelineage` crate,
@@ -25,10 +32,13 @@
 
 mod automaton;
 mod provenance;
+pub mod strategies;
+mod structured;
 mod tree;
 
 pub use automaton::{exists_one_automaton, parity_automaton, State, TreeAutomaton};
 pub use provenance::{acceptance_probability_bruteforce, provenance_circuit};
+pub use structured::{compile_structured_dnnf, StructuredDnnf, StructuredDnnfError};
 pub use tree::{BinaryTree, Label, NodeAnnotation, NodeId, UncertainTree};
 
 #[cfg(test)]

@@ -1,0 +1,143 @@
+//! Reusable property-testing strategies for random uncertain trees and
+//! deterministic bottom-up tree automata.
+//!
+//! The generators here feed both this crate's structural-invariant tests
+//! (every generated provenance circuit must be decomposable, deterministic
+//! and smooth) and the workspace-level cross-backend differential suite
+//! (`tests/backend_differential.rs`), so they live in the public API rather
+//! than behind `cfg(test)`. Generation is deterministic through the in-tree
+//! `proptest` shim.
+
+use crate::automaton::TreeAutomaton;
+use crate::tree::{BinaryTree, UncertainTree};
+use proptest::prelude::*;
+use proptest::strategy::TestRng;
+
+/// A strategy generating random [`UncertainTree`]s: a random full binary
+/// tree shape with up to `max_leaves` leaves, labels drawn from
+/// `0..alphabet`, and each node independently (with probability 1/2)
+/// controlled by its own fresh event choosing between two labels. Events are
+/// never shared between nodes, so the trees are accepted by the structured
+/// compiler; the number of events is at most `2 * max_leaves - 1` (keep
+/// `max_leaves` small when brute-forcing over valuations).
+pub fn uncertain_tree(max_leaves: usize, alphabet: usize) -> impl Strategy<Value = UncertainTree> {
+    assert!(max_leaves >= 1 && alphabet >= 1);
+    (any::<u64>(), 1..max_leaves + 1).prop_map(move |(seed, leaves)| {
+        let mut rng = TestRng::new(seed);
+        let mut tree = BinaryTree::new();
+        // Build a random shape by repeatedly merging two random roots of the
+        // current forest under a fresh internal node.
+        let mut roots: Vec<crate::tree::NodeId> = (0..leaves)
+            .map(|_| tree.leaf(rng.next_u64() as usize % alphabet))
+            .collect();
+        while roots.len() > 1 {
+            let i = rng.next_u64() as usize % roots.len();
+            let left = roots.swap_remove(i);
+            let j = rng.next_u64() as usize % roots.len();
+            let right = roots.swap_remove(j);
+            let label = rng.next_u64() as usize % alphabet;
+            roots.push(tree.internal(label, left, right));
+        }
+        tree.set_root(roots[0]);
+        let mut uncertain = UncertainTree::certain(tree);
+        let mut event = 0;
+        for node in 0..uncertain.tree().node_count() {
+            if rng.next_u64() & 1 == 1 {
+                let if_true = rng.next_u64() as usize % alphabet;
+                let if_false = rng.next_u64() as usize % alphabet;
+                uncertain.set_event(crate::tree::NodeId(node), event, if_true, if_false);
+                event += 1;
+            }
+        }
+        uncertain
+    })
+}
+
+/// A strategy generating random *deterministic* bottom-up [`TreeAutomaton`]s
+/// with `states` states over `0..alphabet`: every leaf label and every
+/// `(label, left, right)` combination independently gets either no
+/// transition (with probability 1/4, exercising partial runs and the
+/// constant-false gates they induce) or exactly one random target state; the
+/// accepting set is a random subset of the states. Determinism holds by
+/// construction ([`TreeAutomaton::is_deterministic`] is asserted).
+pub fn deterministic_automaton(
+    states: usize,
+    alphabet: usize,
+) -> impl Strategy<Value = TreeAutomaton> {
+    assert!(states >= 1 && alphabet >= 1);
+    any::<u64>().prop_map(move |seed| {
+        let mut rng = TestRng::new(seed ^ 0x5eed_a070_a070_a070);
+        let mut automaton = TreeAutomaton::new(states, alphabet);
+        for label in 0..alphabet {
+            if !rng.next_u64().is_multiple_of(4) {
+                automaton.add_leaf_transition(label, rng.next_u64() as usize % states);
+            }
+            for left in 0..states {
+                for right in 0..states {
+                    if !rng.next_u64().is_multiple_of(4) {
+                        automaton.add_internal_transition(
+                            label,
+                            left,
+                            right,
+                            rng.next_u64() as usize % states,
+                        );
+                    }
+                }
+            }
+        }
+        for state in 0..states {
+            if rng.next_u64() & 1 == 1 {
+                automaton.add_accepting(state);
+            }
+        }
+        assert!(automaton.is_deterministic());
+        automaton
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::strategy::TestRng;
+
+    #[test]
+    fn generated_trees_have_fresh_events_and_valid_shape() {
+        let strategy = uncertain_tree(6, 3);
+        let mut rng = TestRng::from_name("generated_trees_have_fresh_events_and_valid_shape");
+        for _ in 0..64 {
+            let tree = strategy.generate(&mut rng);
+            assert!(tree.tree().node_count() <= 11);
+            let events = tree.events();
+            // `events()` sorts and dedups; freshness means the count matches
+            // the number of event-annotated nodes.
+            let annotated = (0..tree.tree().node_count())
+                .filter(|&n| {
+                    !matches!(
+                        tree.annotation(crate::tree::NodeId(n)),
+                        crate::tree::NodeAnnotation::Fixed
+                    )
+                })
+                .count();
+            assert_eq!(events.len(), annotated);
+            assert!(tree.alphabet_size() <= 3);
+        }
+    }
+
+    #[test]
+    fn generated_automata_are_deterministic_and_varied() {
+        let strategy = deterministic_automaton(3, 2);
+        let mut rng = TestRng::from_name("generated_automata_are_deterministic_and_varied");
+        let mut accepting_seen = false;
+        let mut rejecting_seen = false;
+        for _ in 0..64 {
+            let automaton = strategy.generate(&mut rng);
+            assert!(automaton.is_deterministic());
+            if automaton.accepting_states().is_empty() {
+                rejecting_seen = true;
+            } else {
+                accepting_seen = true;
+            }
+        }
+        assert!(accepting_seen && rejecting_seen);
+    }
+}

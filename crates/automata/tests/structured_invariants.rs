@@ -1,0 +1,120 @@
+//! Structural invariants of the structured d-SDNNF compiler, checked on
+//! *every* generated circuit (not just hand-picked examples): the three
+//! d-DNNF conditions of Definition 6.10 — negations on inputs,
+//! decomposability of every ∧, determinism of every ∨ (checked exhaustively
+//! by `Dnnf::verify`) — plus smoothness-by-construction and the vtree
+//! structure witness, on random deterministic automata over random uncertain
+//! trees from the reusable `strategies` generators.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use treelineage_automata::{
+    acceptance_probability_bruteforce, compile_structured_dnnf, provenance_circuit, strategies,
+};
+use treelineage_circuit::{Dnnf, Gate};
+use treelineage_num::Rational;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn every_generated_circuit_is_a_certified_smooth_dsdnnf(
+        tree in strategies::uncertain_tree(5, 3),
+        automaton in strategies::deterministic_automaton(3, 3),
+    ) {
+        let s = compile_structured_dnnf(&automaton, &tree).unwrap();
+        let circuit = s.dnnf().circuit();
+
+        // Decomposability: every ∧ gate's children depend on disjoint
+        // variable sets (checked directly, gate by gate).
+        let deps = circuit.gate_dependencies();
+        for id in circuit.gate_ids() {
+            if let Gate::And(inputs) = circuit.gate(id) {
+                let mut seen: BTreeSet<usize> = BTreeSet::new();
+                for &i in inputs {
+                    for &v in &deps[i.0] {
+                        prop_assert!(seen.insert(v), "AND {:?} shares variable {}", id, v);
+                    }
+                }
+            }
+        }
+
+        // Determinism: no valuation satisfies two children of any ∨ gate
+        // (exhaustive; generator keeps the event count small).
+        prop_assert!(tree.events().len() <= 11);
+        prop_assert!(Dnnf::verify(circuit.clone()).is_ok());
+
+        // Smoothness by construction: no separate smoothing pass needed.
+        prop_assert!(s.dnnf().is_smooth());
+
+        // Structure witness: the circuit is structured by the tree-derived
+        // vtree, whose scope is exactly the event universe.
+        prop_assert!(s.vtree().respects(circuit).is_ok());
+        let universe: BTreeSet<usize> = s.universe().iter().copied().collect();
+        prop_assert_eq!(s.vtree().variables(), universe);
+    }
+
+    #[test]
+    fn structured_compiler_agrees_with_raw_provenance_and_bruteforce(
+        tree in strategies::uncertain_tree(4, 2),
+        automaton in strategies::deterministic_automaton(2, 2),
+    ) {
+        let s = compile_structured_dnnf(&automaton, &tree).unwrap();
+        let raw = provenance_circuit(&automaton, &tree);
+        let events = tree.events();
+        prop_assert!(events.len() <= 7);
+
+        // Same Boolean function as the unstructured provenance circuit, and
+        // both agree with acceptance on every valuation.
+        let mut models = 0u64;
+        for mask in 0u64..(1u64 << events.len()) {
+            let true_events: BTreeSet<usize> = events
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, &e)| e)
+                .collect();
+            let expected = automaton.accepts(&tree.instantiate(&|e| true_events.contains(&e)));
+            prop_assert_eq!(s.dnnf().circuit().evaluate_set(&true_events), expected);
+            prop_assert_eq!(raw.evaluate_set(&true_events), expected);
+            if expected {
+                models += 1;
+            }
+        }
+
+        // One-pass model count and probability against brute force.
+        prop_assert_eq!(s.model_count().to_u64(), Some(models));
+        let prob = |e: usize| Rational::from_ratio_u64(1, e as u64 + 2);
+        prop_assert_eq!(
+            s.probability(&prob),
+            acceptance_probability_bruteforce(&automaton, &tree, &prob)
+        );
+
+        // WMC with general (non-probability) weights against direct
+        // enumeration.
+        let pos = |e: usize| Rational::from_ratio_u64(e as u64 + 2, 3);
+        let neg = |e: usize| Rational::from_ratio_u64(1, e as u64 + 1);
+        let mut expected_wmc = Rational::zero();
+        for mask in 0u64..(1u64 << events.len()) {
+            let true_events: BTreeSet<usize> = events
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, &e)| e)
+                .collect();
+            if !automaton.accepts(&tree.instantiate(&|e| true_events.contains(&e))) {
+                continue;
+            }
+            let mut weight = Rational::one();
+            for &e in &events {
+                if true_events.contains(&e) {
+                    weight *= &pos(e);
+                } else {
+                    weight *= &neg(e);
+                }
+            }
+            expected_wmc += &weight;
+        }
+        prop_assert_eq!(s.wmc(&pos, &neg), expected_wmc);
+    }
+}

@@ -43,8 +43,18 @@ fn table2_upper() {
         .build();
     let q = parse_query(&sig, "R(x), S(x, y), T(y)").unwrap();
     println!(
-        "{:>8} {:>10} {:>12} {:>12} {:>12} {:>10} {:>10} {:>10} {:>8}",
-        "n", "facts", "circuit", "obdd width", "obdd size", "dd nodes", "hits", "misses", "hit%"
+        "{:>8} {:>10} {:>12} {:>12} {:>12} {:>10} {:>10} {:>10} {:>8} {:>12} {:>10}",
+        "n",
+        "facts",
+        "circuit",
+        "obdd width",
+        "obdd size",
+        "dd nodes",
+        "hits",
+        "misses",
+        "hit%",
+        "dsdnnf size",
+        "dsdnnf"
     );
     for n in [25usize, 50, 100, 200, 400] {
         let mut inst = Instance::new(sig.clone());
@@ -57,8 +67,11 @@ fn table2_upper() {
         let circuit = builder.circuit();
         let (manager, root) = builder.dd();
         let stats = manager.stats();
+        let t0 = Instant::now();
+        let structured = builder.structured_dnnf();
+        let t_dsdnnf = t0.elapsed();
         println!(
-            "{:>8} {:>10} {:>12} {:>12} {:>12} {:>10} {:>10} {:>10} {:>7.1}%",
+            "{:>8} {:>10} {:>12} {:>12} {:>12} {:>10} {:>10} {:>10} {:>7.1}% {:>12} {:>8.2}ms",
             n,
             inst.fact_count(),
             circuit.size(),
@@ -67,11 +80,15 @@ fn table2_upper() {
             stats.node_count,
             stats.op_cache_hits,
             stats.op_cache_misses,
-            stats.hit_rate_percent()
+            stats.hit_rate_percent(),
+            structured.size(),
+            t_dsdnnf.as_secs_f64() * 1e3
         );
     }
 
-    // T2-U3/U4/U5: bounded treewidth -> polynomial OBDD, linear circuit, d-DNNF.
+    // T2-U3/U4/U5: bounded treewidth -> polynomial OBDD, linear circuit,
+    // d-DNNF — plus the structured d-SDNNF backend's artifact size and its
+    // compile / one-pass evaluation times.
     println!("\n[T2-U3/U4/U5] random partial 2-trees, query S(x,y),S(y,z) with x != z");
     let sig2 = Signature::builder()
         .relation("S", 2)
@@ -79,16 +96,32 @@ fn table2_upper() {
         .build();
     let q2 = parse_query(&sig2, "S(x, y), S(y, z), x != z").unwrap();
     println!(
-        "{:>8} {:>10} {:>12} {:>12} {:>12} {:>12} {:>10} {:>8}",
-        "n", "facts", "circuit", "obdd width", "obdd size", "ddnnf size", "dd nodes", "hit%"
+        "{:>8} {:>10} {:>12} {:>12} {:>12} {:>12} {:>10} {:>8} {:>12} {:>12} {:>12}",
+        "n",
+        "facts",
+        "circuit",
+        "obdd width",
+        "obdd size",
+        "ddnnf size",
+        "dd nodes",
+        "hit%",
+        "dsdnnf size",
+        "compile",
+        "wmc pass"
     );
     for n in [20usize, 40, 80, 160] {
         let inst = encodings::random_treelike_instance(&sig2, n, 2, 7);
         let builder = LineageBuilder::new(&q2, &inst).unwrap();
         let (manager, root) = builder.dd();
         let stats = manager.stats();
+        let t0 = Instant::now();
+        let structured = builder.structured_dnnf();
+        let t_compile = t0.elapsed();
+        let t1 = Instant::now();
+        let _ = structured.probability(&treelineage_bench::dyadic_prob);
+        let t_eval = t1.elapsed();
         println!(
-            "{:>8} {:>10} {:>12} {:>12} {:>12} {:>12} {:>10} {:>7.1}%",
+            "{:>8} {:>10} {:>12} {:>12} {:>12} {:>12} {:>10} {:>7.1}% {:>12} {:>10.2}ms {:>10.2}ms",
             n,
             inst.fact_count(),
             builder.circuit().size(),
@@ -96,7 +129,10 @@ fn table2_upper() {
             manager.size(root),
             builder.ddnnf().size(),
             stats.node_count,
-            stats.hit_rate_percent()
+            stats.hit_rate_percent(),
+            structured.size(),
+            t_compile.as_secs_f64() * 1e3,
+            t_eval.as_secs_f64() * 1e3
         );
     }
 

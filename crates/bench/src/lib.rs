@@ -1,1 +1,13 @@
 //! Shared helpers for the benchmark harness (see the `benches/` directory and the `tables` binary).
+
+use treelineage_num::Rational;
+
+/// The dyadic per-fact probability weights used by both the `tables`
+/// binary's d-SDNNF evaluation column and the `backend_comparison` bench —
+/// one definition so the two always measure the same workload. Dyadic
+/// denominators (powers of two) keep exact rational arithmetic cheap at
+/// hundreds of facts: common denominators never need large gcds.
+pub fn dyadic_prob(v: usize) -> Rational {
+    let (num, den) = [(1u64, 2u64), (1, 4), (3, 4), (1, 8), (5, 8)][v % 5];
+    Rational::from_ratio_u64(num, den)
+}

@@ -178,9 +178,52 @@ impl Circuit {
         }
     }
 
+    /// The variables on which each gate depends, as dense bitsets over the
+    /// circuit's variables — the cheap representation the d-DNNF
+    /// decomposability check and the smoothing pass run on (one word per 64
+    /// variables instead of a `BTreeSet` per gate, so deep circuits whose
+    /// top gates mention most variables stay near-linear).
+    pub(crate) fn dependency_bitsets(&self) -> GateDeps {
+        let vars: Vec<VarId> = self
+            .gates
+            .iter()
+            .filter_map(|g| match g {
+                Gate::Var(v) => Some(*v),
+                _ => None,
+            })
+            .collect::<BTreeSet<VarId>>()
+            .into_iter()
+            .collect();
+        let index: HashMap<VarId, usize> = vars.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        let words = vars.len().div_ceil(64);
+        let mut bits: Vec<u64> = vec![0; self.gates.len() * words];
+        for (id, gate) in self.gates.iter().enumerate() {
+            let (from, to) = bits.split_at_mut(id * words);
+            let row = &mut to[..words];
+            match gate {
+                Gate::Var(v) => {
+                    let i = index[v];
+                    row[i / 64] |= 1 << (i % 64);
+                }
+                Gate::Const(_) => {}
+                Gate::Not(i) => {
+                    row.copy_from_slice(&from[i.0 * words..(i.0 + 1) * words]);
+                }
+                Gate::And(inputs) | Gate::Or(inputs) => {
+                    for i in inputs {
+                        for (w, &src) in row.iter_mut().zip(&from[i.0 * words..(i.0 + 1) * words]) {
+                            *w |= src;
+                        }
+                    }
+                }
+            }
+        }
+        GateDeps { vars, words, bits }
+    }
+
     /// The variables on which each gate depends (computed bottom-up for every
-    /// gate; used by the d-DNNF decomposability check and by OBDD
-    /// construction).
+    /// gate; used by OBDD construction — the d-DNNF checks and the smoothing
+    /// pass run on [`Circuit::dependency_bitsets`] instead).
     pub fn gate_dependencies(&self) -> Vec<BTreeSet<VarId>> {
         let mut deps: Vec<BTreeSet<VarId>> = Vec::with_capacity(self.gates.len());
         for gate in &self.gates {
@@ -434,6 +477,43 @@ impl Circuit {
 impl Default for Circuit {
     fn default() -> Self {
         Circuit::new()
+    }
+}
+
+/// Per-gate variable dependencies as dense bitsets (see
+/// [`Circuit::dependency_bitsets`]); rows are indexed by gate id.
+pub(crate) struct GateDeps {
+    /// The circuit's variables, sorted; bit `i` of a row stands for
+    /// `vars[i]`.
+    pub(crate) vars: Vec<VarId>,
+    /// Row width in 64-bit words.
+    words: usize,
+    bits: Vec<u64>,
+}
+
+impl GateDeps {
+    /// The dependency row of a gate.
+    pub(crate) fn row(&self, gate: GateId) -> &[u64] {
+        &self.bits[gate.0 * self.words..(gate.0 + 1) * self.words]
+    }
+
+    /// Whether two rows share a variable.
+    pub(crate) fn intersects(a: &[u64], b: &[u64]) -> bool {
+        a.iter().zip(b).any(|(x, y)| x & y != 0)
+    }
+
+    /// The variables set in `row`.
+    pub(crate) fn vars_of<'a>(&'a self, row: &'a [u64]) -> impl Iterator<Item = VarId> + 'a {
+        row.iter().enumerate().flat_map(move |(w, &word)| {
+            (0..64)
+                .filter(move |b| word >> b & 1 == 1)
+                .map(move |b| self.vars[w * 64 + b])
+        })
+    }
+
+    /// An empty accumulator row.
+    pub(crate) fn empty_row(&self) -> Vec<u64> {
+        vec![0; self.words]
     }
 }
 

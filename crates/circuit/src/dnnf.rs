@@ -8,8 +8,8 @@
 //! model counting are linear on d-DNNFs; Theorem 6.11 shows MSO lineages on
 //! bounded-treewidth instances have linear-size d-DNNFs.
 
-use crate::circuit::{Circuit, Gate, GateId, VarId};
-use std::collections::BTreeSet;
+use crate::circuit::{Circuit, Gate, GateDeps, GateId, VarId};
+use std::collections::{BTreeMap, BTreeSet};
 use treelineage_num::{BigUint, Rational};
 
 /// A circuit together with the verified d-DNNF structural guarantees.
@@ -59,7 +59,7 @@ impl Dnnf {
     /// condition — is trusted; use [`Dnnf::verify`] to also check it
     /// exhaustively on small circuits.
     pub fn from_trusted_circuit(circuit: Circuit) -> Result<Self, DnnfError> {
-        let dependencies = circuit.gate_dependencies();
+        let dependencies = circuit.dependency_bitsets();
         check_syntactic(&circuit, &dependencies)?;
         Ok(Dnnf { circuit })
     }
@@ -68,11 +68,25 @@ impl Dnnf {
     /// determinism check enumerates assignments and is exponential, so the
     /// circuit must have at most 20 variables.
     pub fn verify(circuit: Circuit) -> Result<Self, DnnfError> {
-        let dependencies = circuit.gate_dependencies();
+        let dependencies = circuit.dependency_bitsets();
         check_syntactic(&circuit, &dependencies)?;
         // Determinism: for every OR gate, no assignment makes two distinct
-        // children true simultaneously.
-        let vars: Vec<VarId> = circuit.variables().into_iter().collect();
+        // children true simultaneously. The enumeration must range over
+        // *every* variable occurring in the circuit — not just the ones
+        // reachable from the output — because the syntactic conditions are
+        // checked on all gates too, and an OR gate dangling off the output
+        // can only overlap under assignments touching its own variables
+        // (see `dangling_nondeterministic_or_is_rejected` for the minimal
+        // counterexample that the output-reachable enumeration missed).
+        let vars: Vec<VarId> = circuit
+            .gate_ids()
+            .filter_map(|id| match circuit.gate(id) {
+                Gate::Var(v) => Some(*v),
+                _ => None,
+            })
+            .collect::<BTreeSet<VarId>>()
+            .into_iter()
+            .collect();
         assert!(
             vars.len() <= 20,
             "exhaustive determinism check limited to 20 variables"
@@ -171,9 +185,240 @@ impl Dnnf {
         assert!(!scaled.numerator().is_negative());
         scaled.numerator().magnitude().clone()
     }
+
+    /// Returns `true` if the d-DNNF is *smooth*: the children of every OR
+    /// gate depend on exactly the same variables. Smoothness is what makes
+    /// the single integer pass of [`Dnnf::count_models_smooth`] and the
+    /// general-weight pass of [`Dnnf::wmc`] correct (without it, an OR child
+    /// that "forgets" a variable under-counts its models).
+    pub fn is_smooth(&self) -> bool {
+        let deps = self.circuit.dependency_bitsets();
+        self.circuit
+            .gate_ids()
+            .all(|id| match self.circuit.gate(id) {
+                Gate::Or(inputs) => inputs.windows(2).all(|w| deps.row(w[0]) == deps.row(w[1])),
+                _ => true,
+            })
+    }
+
+    /// The *smoothing pass*: returns an equivalent d-DNNF over `universe`
+    /// where every OR gate's children mention the same variables and the
+    /// output mentions all of `universe`. Each OR child missing a variable
+    /// `v` is conjoined with the tautology `v ∨ ¬v` (deterministic and
+    /// smooth itself), so determinism and decomposability are preserved and
+    /// the size grows by at most one gate pair per (gate, missing variable).
+    pub fn smooth(&self, universe: &[VarId]) -> Dnnf {
+        let deps = self.circuit.dependency_bitsets();
+        let universe_set: BTreeSet<VarId> = universe.iter().copied().collect();
+        assert!(
+            self.variables().is_subset(&universe_set),
+            "universe must contain all variables of the d-DNNF"
+        );
+        let mut out = Circuit::new();
+        // Tautology gates v ∨ ¬v, one per padded variable.
+        let mut taut: BTreeMap<VarId, GateId> = BTreeMap::new();
+        let mut tautology = |v: VarId, out: &mut Circuit| -> GateId {
+            if let Some(&g) = taut.get(&v) {
+                return g;
+            }
+            let pos = out.var(v);
+            let neg = out.not(pos);
+            let g = out.or(vec![pos, neg]);
+            taut.insert(v, g);
+            g
+        };
+        let pad = |gate: GateId,
+                   missing: &mut dyn Iterator<Item = VarId>,
+                   out: &mut Circuit,
+                   tautology: &mut dyn FnMut(VarId, &mut Circuit) -> GateId|
+         -> GateId {
+            let mut inputs = vec![gate];
+            for v in missing {
+                inputs.push(tautology(v, out));
+            }
+            if inputs.len() == 1 {
+                return gate;
+            }
+            out.and(inputs)
+        };
+        let mut mapping: Vec<GateId> = Vec::with_capacity(self.circuit.size());
+        for id in self.circuit.gate_ids() {
+            let new_id = match self.circuit.gate(id) {
+                Gate::Var(v) => out.var(*v),
+                Gate::Const(b) => out.constant(*b),
+                Gate::Not(i) => {
+                    let input = mapping[i.0];
+                    out.not(input)
+                }
+                Gate::And(inputs) => {
+                    let mapped: Vec<GateId> = inputs.iter().map(|i| mapping[i.0]).collect();
+                    out.and(mapped)
+                }
+                Gate::Or(inputs) => {
+                    let mut scope = deps.empty_row();
+                    for i in inputs {
+                        for (w, &src) in scope.iter_mut().zip(deps.row(*i)) {
+                            *w |= src;
+                        }
+                    }
+                    let mapped: Vec<GateId> = inputs
+                        .iter()
+                        .map(|i| {
+                            let row = deps.row(*i);
+                            let gap: Vec<u64> =
+                                scope.iter().zip(row).map(|(s, r)| s & !r).collect();
+                            let padded = pad(
+                                mapping[i.0],
+                                &mut deps.vars_of(&gap),
+                                &mut out,
+                                &mut tautology,
+                            );
+                            padded
+                        })
+                        .collect();
+                    out.or(mapped)
+                }
+            };
+            mapping.push(new_id);
+        }
+        let output = self.circuit.output();
+        let present: BTreeSet<VarId> = deps.vars_of(deps.row(output)).collect();
+        let padded = pad(
+            mapping[output.0],
+            &mut universe_set.difference(&present).copied(),
+            &mut out,
+            &mut tautology,
+        );
+        out.set_output(padded);
+        Dnnf::from_trusted_circuit(out).expect("smoothing preserves the d-DNNF conditions")
+    }
+
+    /// Model count of a *smooth* d-DNNF whose output mentions its whole
+    /// universe (as produced by [`Dnnf::smooth`]): a single bottom-up integer
+    /// pass — Var and negated Var count one model, OR children add (they are
+    /// mutually exclusive over a common scope), AND children multiply (they
+    /// are independent). Linear in the circuit size, no rational arithmetic.
+    pub fn count_models_smooth(&self) -> BigUint {
+        // A full assert, not a debug_assert: on a non-smooth circuit the
+        // pass silently under-counts, and the bitset-based check is cheap
+        // next to the bignum arithmetic below.
+        assert!(
+            self.is_smooth(),
+            "count_models_smooth needs a smooth d-DNNF"
+        );
+        let mut values: Vec<BigUint> = Vec::with_capacity(self.circuit.size());
+        for id in self.circuit.gate_ids() {
+            let count = match self.circuit.gate(id) {
+                Gate::Var(_) => BigUint::one(),
+                Gate::Const(b) => {
+                    if *b {
+                        BigUint::one()
+                    } else {
+                        BigUint::zero()
+                    }
+                }
+                Gate::Not(i) => match self.circuit.gate(*i) {
+                    Gate::Var(_) => BigUint::one(),
+                    Gate::Const(b) => {
+                        if *b {
+                            BigUint::zero()
+                        } else {
+                            BigUint::one()
+                        }
+                    }
+                    _ => unreachable!("negations on inputs only"),
+                },
+                Gate::And(inputs) => {
+                    let mut acc = BigUint::one();
+                    for &i in inputs {
+                        acc = &acc * &values[i.0];
+                    }
+                    acc
+                }
+                Gate::Or(inputs) => {
+                    let mut acc = BigUint::zero();
+                    for &i in inputs {
+                        acc = &acc + &values[i.0];
+                    }
+                    acc
+                }
+            };
+            values.push(count);
+        }
+        values[self.circuit.output().0].clone()
+    }
+
+    /// One-pass *weighted* model count with independent per-literal weights:
+    /// `Σ_models Π_v (pos(v) if v true else neg(v))`, over the variables the
+    /// output mentions. Unlike [`Dnnf::probability`], the weights need not
+    /// sum to one per variable, so the d-DNNF must be smooth (smooth it over
+    /// the intended universe first — a variable absent from a model's scope
+    /// would silently contribute factor 1 instead of `pos(v) + neg(v)`).
+    pub fn wmc(
+        &self,
+        pos: &dyn Fn(VarId) -> Rational,
+        neg: &dyn Fn(VarId) -> Rational,
+    ) -> Rational {
+        // Full assert for the same reason as `count_models_smooth`: a
+        // missing variable silently contributes factor 1 instead of
+        // `pos(v) + neg(v)`.
+        assert!(self.is_smooth(), "wmc needs a smooth d-DNNF");
+        let mut values: Vec<Rational> = Vec::with_capacity(self.circuit.size());
+        for id in self.circuit.gate_ids() {
+            let w = match self.circuit.gate(id) {
+                Gate::Var(v) => pos(*v),
+                Gate::Const(b) => {
+                    if *b {
+                        Rational::one()
+                    } else {
+                        Rational::zero()
+                    }
+                }
+                Gate::Not(i) => match self.circuit.gate(*i) {
+                    Gate::Var(v) => neg(*v),
+                    Gate::Const(b) => {
+                        if *b {
+                            Rational::zero()
+                        } else {
+                            Rational::one()
+                        }
+                    }
+                    _ => unreachable!("negations on inputs only"),
+                },
+                Gate::And(inputs) => {
+                    let mut acc = Rational::one();
+                    for &i in inputs {
+                        acc *= &values[i.0];
+                    }
+                    acc
+                }
+                Gate::Or(inputs) => {
+                    let mut acc = Rational::zero();
+                    for &i in inputs {
+                        acc += &values[i.0];
+                    }
+                    acc
+                }
+            };
+            values.push(w);
+        }
+        values[self.circuit.output().0].clone()
+    }
+
+    /// Conditions the d-DNNF on `var = value` (the substitution used by
+    /// Lemma 6.6's restrictions): the result no longer depends on `var`.
+    /// Restriction preserves all three d-DNNF conditions, so the result is
+    /// again a d-DNNF of at most the same size.
+    pub fn condition(&self, var: VarId, value: bool) -> Dnnf {
+        let mut fixed = std::collections::HashMap::new();
+        fixed.insert(var, value);
+        Dnnf::from_trusted_circuit(self.circuit.restrict(&fixed))
+            .expect("conditioning preserves the d-DNNF conditions")
+    }
 }
 
-fn check_syntactic(circuit: &Circuit, dependencies: &[BTreeSet<VarId>]) -> Result<(), DnnfError> {
+fn check_syntactic(circuit: &Circuit, dependencies: &GateDeps) -> Result<(), DnnfError> {
+    let mut seen = dependencies.empty_row();
     for id in circuit.gate_ids() {
         match circuit.gate(id) {
             Gate::Not(i) if !matches!(circuit.gate(*i), Gate::Var(_) | Gate::Const(_)) => {
@@ -181,12 +426,14 @@ fn check_syntactic(circuit: &Circuit, dependencies: &[BTreeSet<VarId>]) -> Resul
             }
             Gate::And(inputs) => {
                 // Children must have pairwise disjoint dependency sets.
-                let mut seen: BTreeSet<VarId> = BTreeSet::new();
+                seen.iter_mut().for_each(|w| *w = 0);
                 for &i in inputs {
-                    for v in &dependencies[i.0] {
-                        if !seen.insert(*v) {
-                            return Err(DnnfError::NotDecomposable(id));
-                        }
+                    let row = dependencies.row(i);
+                    if GateDeps::intersects(&seen, row) {
+                        return Err(DnnfError::NotDecomposable(id));
+                    }
+                    for (w, &src) in seen.iter_mut().zip(row) {
+                        *w |= src;
                     }
                 }
             }
@@ -288,6 +535,114 @@ mod tests {
         let d = Dnnf::verify(c).unwrap();
         assert!(d.probability(&|_| Rational::one_half()).is_one());
         assert_eq!(d.count_models(&[0, 1]).to_u64(), Some(4));
+    }
+
+    #[test]
+    fn dangling_nondeterministic_or_is_rejected() {
+        // Minimal counterexample for the old determinism check: the output is
+        // the bare variable x0, and an OR over x1, x2 dangles off the output.
+        // Enumerating only output-reachable variables ({x0}) never sets
+        // x1 = x2 = 1, so the overlapping OR used to slip through `verify`.
+        let mut c = Circuit::new();
+        let x0 = c.var(0);
+        let x1 = c.var(1);
+        let x2 = c.var(2);
+        let dangling = c.or(vec![x1, x2]);
+        c.set_output(x0);
+        assert_eq!(
+            Dnnf::verify(c).unwrap_err(),
+            DnnfError::NotDeterministic(dangling)
+        );
+    }
+
+    #[test]
+    fn smoothing_pass_produces_smooth_equivalent_ddnnf() {
+        // exactly_one is smooth already over {0, 1}; over a larger universe
+        // the output must be padded.
+        let d = Dnnf::verify(exactly_one()).unwrap();
+        assert!(d.is_smooth());
+        let s = d.smooth(&[0, 1, 5]);
+        assert!(s.is_smooth());
+        assert!(s.circuit().equivalent_to(d.circuit()));
+        assert_eq!(s.variables(), [0, 1, 5].into_iter().collect());
+        assert_eq!(s.count_models_smooth().to_u64(), Some(4));
+        // The OBDD-shaped circuit (x0 AND x1) OR (NOT x0 AND x2) is NOT
+        // smooth ({x0,x1} vs {x0,x2}); smoothing fixes it without changing
+        // the function or the model count.
+        let mut c = Circuit::new();
+        let x0 = c.var(0);
+        let x1 = c.var(1);
+        let x2 = c.var(2);
+        let n0 = c.not(x0);
+        let left = c.and(vec![x0, x1]);
+        let right = c.and(vec![n0, x2]);
+        let o = c.or(vec![left, right]);
+        c.set_output(o);
+        let d = Dnnf::verify(c).unwrap();
+        assert!(!d.is_smooth());
+        let s = d.smooth(&[0, 1, 2]);
+        assert!(s.is_smooth());
+        assert!(s.circuit().equivalent_to(d.circuit()));
+        assert_eq!(
+            s.count_models_smooth().to_u64(),
+            d.count_models(&[0, 1, 2]).to_u64()
+        );
+    }
+
+    #[test]
+    fn wmc_with_general_weights_matches_enumeration() {
+        // Weights that do NOT sum to 1 per variable: w(x0)=2/1, w(¬x0)=3/1,
+        // w(x1)=1/2, w(¬x1)=5/1. exactly_one models: {x0}, {x1}.
+        // WMC = 2*5 + 3*(1/2) = 23/2.
+        let d = Dnnf::verify(exactly_one()).unwrap().smooth(&[0, 1]);
+        let pos = |v: VarId| {
+            if v == 0 {
+                Rational::from_ratio_u64(2, 1)
+            } else {
+                Rational::from_ratio_u64(1, 2)
+            }
+        };
+        let neg = |v: VarId| {
+            if v == 0 {
+                Rational::from_ratio_u64(3, 1)
+            } else {
+                Rational::from_ratio_u64(5, 1)
+            }
+        };
+        assert_eq!(d.wmc(&pos, &neg), Rational::from_ratio_u64(23, 2));
+        // With probability weights (pos + neg = 1), wmc agrees with
+        // probability.
+        let p = |v: VarId| Rational::from_ratio_u64(1, v as u64 + 3);
+        let q = |v: VarId| p(v).complement();
+        assert_eq!(d.wmc(&p, &q), d.probability(&p));
+    }
+
+    #[test]
+    fn conditioning_fixes_a_variable() {
+        let d = Dnnf::verify(exactly_one()).unwrap();
+        // exactly_one | x0=1 is ¬x1; | x0=0 is x1.
+        let c1 = d.condition(0, true);
+        assert!(!c1.variables().contains(&0));
+        assert_eq!(c1.count_models(&[1]).to_u64(), Some(1));
+        assert!(c1.circuit().evaluate(&|_| false));
+        assert!(!c1.circuit().evaluate(&|v| v == 1));
+        let c0 = d.condition(0, false);
+        assert!(c0.circuit().evaluate(&|v| v == 1));
+        assert!(!c0.circuit().evaluate(&|_| false));
+    }
+
+    #[test]
+    fn smooth_model_count_of_constant_circuits() {
+        let mut c = Circuit::new();
+        let t = c.constant(true);
+        c.set_output(t);
+        let d = Dnnf::verify(c).unwrap().smooth(&[0, 1, 2]);
+        assert_eq!(d.count_models_smooth().to_u64(), Some(8));
+        let mut c = Circuit::new();
+        let f = c.constant(false);
+        c.set_output(f);
+        let d = Dnnf::verify(c).unwrap().smooth(&[0, 1, 2]);
+        assert_eq!(d.count_models_smooth().to_u64(), Some(0));
     }
 
     #[test]

@@ -11,7 +11,12 @@
 //! * [`Obdd`] — reduced ordered binary decision diagrams (Definition 6.4),
 //!   with width/size measurement, probability and model counting;
 //! * [`Dnnf`] — deterministic decomposable circuits (Definition 6.10) with
-//!   linear-time probability evaluation;
+//!   linear-time probability evaluation, smoothing, one-pass weighted model
+//!   counting and conditioning;
+//! * [`Vtree`] — variable trees witnessing *structured* decomposability
+//!   (the "structured" in d-SDNNF: OBDDs are the right-linear special case,
+//!   and the automaton provenance construction is structured by a vtree read
+//!   off its input tree);
 //! * probability evaluation for circuits: brute force and the ra-linear
 //!   message-passing algorithm over bounded-treewidth circuit decompositions
 //!   (the engine of Theorem 3.2).
@@ -24,6 +29,7 @@ mod dnnf;
 mod formula;
 mod obdd;
 mod probability;
+mod vtree;
 
 pub use circuit::{Circuit, Gate, GateId, VarId};
 pub use dnnf::{Dnnf, DnnfError};
@@ -33,6 +39,7 @@ pub use formula::{
 };
 pub use obdd::{Obdd, Ref};
 pub use probability::{probability_bruteforce, probability_message_passing, MessagePassingError};
+pub use vtree::{Vtree, VtreeId, VtreeNode};
 
 #[cfg(test)]
 mod proptests {

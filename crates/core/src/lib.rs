@@ -57,16 +57,18 @@ mod probability;
 
 pub use counting::MatchCounter;
 pub use lineage::{
-    obdd_to_circuit, variable_order_from_decomposition, LineageBuilder, LineageError,
+    obdd_to_circuit, variable_order_from_decomposition, LineageBackend, LineageBuilder,
+    LineageError, StructuredLineage,
 };
 pub use probability::{model_check, ProbabilityEvaluator};
 
 /// Convenience re-exports of the types most users need.
 pub mod prelude {
     pub use crate::{
-        model_check, LineageBuilder, LineageError, MatchCounter, ProbabilityEvaluator,
+        model_check, LineageBackend, LineageBuilder, LineageError, MatchCounter,
+        ProbabilityEvaluator, StructuredLineage,
     };
-    pub use treelineage_circuit::{Circuit, Dnnf, Formula, Obdd};
+    pub use treelineage_circuit::{Circuit, Dnnf, Formula, Obdd, Vtree};
     pub use treelineage_dd::{Manager as DdManager, NodeId as DdNodeId, Stats as DdStats};
     pub use treelineage_graph::{Graph, TreeDecomposition};
     pub use treelineage_instance::{

@@ -29,10 +29,109 @@
 //! experiments exercise exactly the objects the paper reasons about.
 
 use std::collections::{BTreeMap, BTreeSet};
-use treelineage_circuit::{Circuit, Dnnf, GateId, Obdd, Ref, VarId};
+use treelineage_circuit::{Circuit, Dnnf, GateId, Obdd, Ref, VarId, Vtree};
 use treelineage_graph::{TreeDecomposition, Vertex};
 use treelineage_instance::{Element, FactId, Instance};
+use treelineage_num::{BigUint, Rational};
 use treelineage_query::{matching, UnionOfConjunctiveQueries};
+
+/// The compilation backend a lineage-consuming pipeline routes through (see
+/// DESIGN.md "Backend selection").
+///
+/// All three represent the same Boolean function under the same
+/// decomposition-derived variable order and give exactly equal answers (the
+/// cross-backend differential suite pins this); they differ in data
+/// structure and cost profile.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LineageBackend {
+    /// The per-diagram reduced OBDD of `treelineage_circuit::Obdd` — the
+    /// literal-to-the-paper object (Definition 6.4), kept as the
+    /// differential-testing oracle.
+    LegacyObdd,
+    /// The shared hash-consed decision-diagram engine (`treelineage_dd`)
+    /// with complement edges and a persistent operation cache — the default
+    /// fast path.
+    #[default]
+    SharedDd,
+    /// The structured d-DNNF (d-SDNNF) lineage of Theorem 6.11: a
+    /// materialized circuit artifact with a vtree structure witness,
+    /// supporting one-pass probability, weighted model counting over
+    /// general weights (after its smoothing pass) and one-pass model
+    /// counting — linear in the circuit size per evaluation.
+    StructuredDnnf,
+}
+
+/// The lineage compiled into a structured d-DNNF (d-SDNNF): the circuit
+/// artifact behind [`LineageBackend::StructuredDnnf`].
+///
+/// Two variants of the circuit are kept: the raw export (structured by
+/// [`StructuredLineage::vtree`], used for probability evaluation) and its
+/// smoothed form over the full fact universe (used for one-pass model
+/// counting and general-weight WMC, where skipped variables must be
+/// materialized). Every evaluation is a single bottom-up pass.
+#[derive(Clone, Debug)]
+pub struct StructuredLineage {
+    dnnf: Dnnf,
+    smoothed: Dnnf,
+    vtree: Vtree,
+    universe: Vec<VarId>,
+}
+
+impl StructuredLineage {
+    /// The raw (unsmoothed) d-SDNNF.
+    pub fn dnnf(&self) -> &Dnnf {
+        &self.dnnf
+    }
+
+    /// The smoothed d-DNNF over the full fact universe.
+    pub fn smoothed(&self) -> &Dnnf {
+        &self.smoothed
+    }
+
+    /// The structure witness: the raw circuit is structured by this
+    /// (right-linear, order-derived) vtree.
+    pub fn vtree(&self) -> &Vtree {
+        &self.vtree
+    }
+
+    /// The declared universe: every fact id of the instance, in the
+    /// decomposition-derived order.
+    pub fn universe(&self) -> &[VarId] {
+        &self.universe
+    }
+
+    /// Number of gates of the raw d-SDNNF.
+    pub fn size(&self) -> usize {
+        self.dnnf.size()
+    }
+
+    /// Number of gates of the smoothed d-DNNF.
+    pub fn smoothed_size(&self) -> usize {
+        self.smoothed.size()
+    }
+
+    /// Query probability under independent per-fact probabilities: one pass
+    /// over the raw circuit (probability weights need no smoothing).
+    pub fn probability(&self, prob: &dyn Fn(VarId) -> Rational) -> Rational {
+        self.dnnf.probability(prob)
+    }
+
+    /// Weighted model count with general per-literal weights: one pass over
+    /// the smoothed circuit.
+    pub fn wmc(
+        &self,
+        pos: &dyn Fn(VarId) -> Rational,
+        neg: &dyn Fn(VarId) -> Rational,
+    ) -> Rational {
+        self.smoothed.wmc(pos, neg)
+    }
+
+    /// Number of satisfying subinstances over the full fact universe: one
+    /// integer pass over the smoothed circuit.
+    pub fn model_count(&self) -> BigUint {
+        self.smoothed.count_models_smooth()
+    }
+}
 
 /// Errors reported by lineage construction.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -194,6 +293,28 @@ impl<'a> LineageBuilder<'a> {
         let circuit = obdd_to_circuit(&obdd);
         Dnnf::from_trusted_circuit(circuit).expect("OBDD-derived circuits are d-DNNFs")
     }
+
+    /// Compiles the lineage into a structured d-DNNF (the
+    /// [`LineageBackend::StructuredDnnf`] artifact): the shared dd engine
+    /// compiles the lineage under the decomposition-derived order, the
+    /// result is exported as a d-DNNF circuit (deterministic ORs over
+    /// decomposable decision branches), a smoothing pass materializes the
+    /// full fact universe for one-pass counting, and the right-linear vtree
+    /// over the order is attached as the structure witness.
+    pub fn structured_dnnf(&self) -> StructuredLineage {
+        let (manager, root) = self.dd();
+        let order = manager.order().to_vec();
+        let dnnf = Dnnf::from_trusted_circuit(manager.export_dnnf(root))
+            .expect("dd-exported circuits are d-DNNFs");
+        let smoothed = dnnf.smooth(&order);
+        let vtree = Vtree::right_linear(&order);
+        StructuredLineage {
+            dnnf,
+            smoothed,
+            vtree,
+            universe: order,
+        }
+    }
 }
 
 /// Derives a fact order from a tree decomposition of the instance's Gaifman
@@ -304,6 +425,7 @@ mod tests {
         let circuit = builder.circuit();
         let obdd = builder.obdd();
         let ddnnf = builder.ddnnf();
+        let structured = builder.structured_dnnf();
         let (manager, root) = builder.dd();
         let n = instance.fact_count();
         assert!(n <= 16, "oracle check limited to 16 facts");
@@ -332,7 +454,29 @@ mod tests {
                 expected,
                 "dd, mask {mask}"
             );
+            assert_eq!(
+                structured.dnnf().circuit().evaluate_set(&world_vars),
+                expected,
+                "structured, mask {mask}"
+            );
+            assert_eq!(
+                structured.smoothed().circuit().evaluate_set(&world_vars),
+                expected,
+                "smoothed structured, mask {mask}"
+            );
         }
+        // The structured artifact is certified: smooth where claimed,
+        // structured by its vtree, and counting through one integer pass
+        // agrees with the other backends.
+        assert!(structured.smoothed().is_smooth());
+        assert!(structured
+            .vtree()
+            .respects(structured.dnnf().circuit())
+            .is_ok());
+        assert_eq!(
+            structured.model_count().to_u64(),
+            obdd.count_models().to_u64()
+        );
         // The shared engine reports the same canonical width/size/count as
         // the legacy reduced OBDD under the same order.
         assert_eq!(manager.level_sizes(root), obdd.level_sizes());

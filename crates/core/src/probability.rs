@@ -12,7 +12,7 @@
 //! queries and the benches time the engines against each other), and a
 //! brute-force possible-worlds oracle is provided for testing.
 
-use crate::lineage::{LineageBuilder, LineageError};
+use crate::lineage::{LineageBackend, LineageBuilder, LineageError};
 use std::collections::BTreeSet;
 use treelineage_graph::TreeDecomposition;
 use treelineage_instance::{FactId, Instance, ProbabilityValuation};
@@ -24,11 +24,12 @@ pub struct ProbabilityEvaluator<'a> {
     instance: &'a Instance,
     valuation: &'a ProbabilityValuation,
     decomposition: Option<TreeDecomposition>,
+    backend: LineageBackend,
 }
 
 impl<'a> ProbabilityEvaluator<'a> {
     /// Creates an evaluator over the given instance and probability
-    /// valuation.
+    /// valuation, using the default [`LineageBackend::SharedDd`] backend.
     pub fn new(instance: &'a Instance, valuation: &'a ProbabilityValuation) -> Self {
         assert_eq!(
             valuation.len(),
@@ -39,6 +40,7 @@ impl<'a> ProbabilityEvaluator<'a> {
             instance,
             valuation,
             decomposition: None,
+            backend: LineageBackend::default(),
         }
     }
 
@@ -49,17 +51,57 @@ impl<'a> ProbabilityEvaluator<'a> {
         self
     }
 
-    /// The probability that the query holds, computed through the shared
-    /// decision-diagram engine (Theorem 6.5 / 6.7 pipeline: compile the
-    /// lineage under a decomposition-derived order, then one weighted
-    /// model-counting pass over the shared nodes).
+    /// Routes [`ProbabilityEvaluator::query_probability`] and
+    /// [`ProbabilityEvaluator::model_count`] through the given lineage
+    /// backend. All backends return exactly equal answers (pinned by the
+    /// cross-backend differential suite); they differ in cost profile.
+    pub fn with_backend(mut self, backend: LineageBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The backend the evaluator routes through.
+    pub fn backend(&self) -> LineageBackend {
+        self.backend
+    }
+
+    /// The probability that the query holds, computed through the selected
+    /// [`LineageBackend`] (by default the shared decision-diagram engine:
+    /// the Theorem 6.5 / 6.7 pipeline of compiling the lineage under a
+    /// decomposition-derived order and running one weighted model-counting
+    /// pass; [`LineageBackend::StructuredDnnf`] instead materializes the
+    /// Theorem 6.11 d-SDNNF and evaluates it in one linear pass).
     pub fn query_probability(
+        &self,
+        query: &UnionOfConjunctiveQueries,
+    ) -> Result<Rational, LineageError> {
+        match self.backend {
+            LineageBackend::LegacyObdd => self.query_probability_via_legacy_obdd(query),
+            LineageBackend::SharedDd => self.query_probability_via_dd(query),
+            LineageBackend::StructuredDnnf => self.query_probability_via_structured_dnnf(query),
+        }
+    }
+
+    /// The probability computed through the shared dd engine, regardless of
+    /// the selected backend.
+    pub fn query_probability_via_dd(
         &self,
         query: &UnionOfConjunctiveQueries,
     ) -> Result<Rational, LineageError> {
         let builder = self.builder(query)?;
         let (manager, root) = builder.dd();
         Ok(manager.probability(root, &|v| self.valuation.probability(FactId(v)).clone()))
+    }
+
+    /// The probability computed through the structured d-DNNF backend
+    /// (compile to a d-SDNNF, then one linear evaluation pass), regardless
+    /// of the selected backend.
+    pub fn query_probability_via_structured_dnnf(
+        &self,
+        query: &UnionOfConjunctiveQueries,
+    ) -> Result<Rational, LineageError> {
+        let structured = self.builder(query)?.structured_dnnf();
+        Ok(structured.probability(&|v| self.valuation.probability(FactId(v)).clone()))
     }
 
     /// The probability computed through the legacy per-diagram OBDD
@@ -108,9 +150,64 @@ impl<'a> ProbabilityEvaluator<'a> {
     /// Number of subinstances (possible worlds under the all-1/2 valuation,
     /// scaled by `2^{|I|}`) satisfying the query — the model counting problem
     /// related to probability evaluation by footnote 3 of the paper.
+    /// Routed through the selected [`LineageBackend`]; the structured
+    /// backend counts in one integer pass over its smoothed circuit.
     pub fn model_count(&self, query: &UnionOfConjunctiveQueries) -> Result<BigUint, LineageError> {
-        let (manager, root) = self.builder(query)?.dd();
-        Ok(manager.count_models(root))
+        let builder = self.builder(query)?;
+        match self.backend {
+            LineageBackend::LegacyObdd => Ok(builder.obdd().count_models()),
+            LineageBackend::SharedDd => {
+                let (manager, root) = builder.dd();
+                Ok(manager.count_models(root))
+            }
+            LineageBackend::StructuredDnnf => Ok(builder.structured_dnnf().model_count()),
+        }
+    }
+
+    /// General weighted model count: `Σ_worlds Π_facts (pos if present else
+    /// neg)`, with weights that need not sum to one per fact (so this is
+    /// strictly more general than [`ProbabilityEvaluator::query_probability`];
+    /// e.g. `pos = neg = 1` counts models). Evaluated in one pass over the
+    /// structured backend's smoothed d-DNNF.
+    pub fn query_wmc(
+        &self,
+        query: &UnionOfConjunctiveQueries,
+        pos: &dyn Fn(FactId) -> Rational,
+        neg: &dyn Fn(FactId) -> Rational,
+    ) -> Result<Rational, LineageError> {
+        let structured = self.builder(query)?.structured_dnnf();
+        Ok(structured.wmc(&|v| pos(FactId(v)), &|v| neg(FactId(v))))
+    }
+
+    /// Brute-force general weighted model count (oracle); exponential,
+    /// limited to 20 facts.
+    pub fn query_wmc_bruteforce(
+        &self,
+        query: &UnionOfConjunctiveQueries,
+        pos: &dyn Fn(FactId) -> Rational,
+        neg: &dyn Fn(FactId) -> Rational,
+    ) -> Rational {
+        let n = self.instance.fact_count();
+        assert!(n <= 20, "brute-force WMC limited to 20 facts");
+        let mut total = Rational::zero();
+        for mask in 0u64..(1u64 << n) {
+            let world: BTreeSet<FactId> =
+                (0..n).filter(|i| mask >> i & 1 == 1).map(FactId).collect();
+            if !matching::satisfied_in_world(query, self.instance, &world) {
+                continue;
+            }
+            let mut weight = Rational::one();
+            for i in 0..n {
+                let f = FactId(i);
+                if world.contains(&f) {
+                    weight *= &pos(f);
+                } else {
+                    weight *= &neg(f);
+                }
+            }
+            total += &weight;
+        }
+        total
     }
 
     /// Brute-force model count (oracle); limited to 20 facts.
@@ -214,6 +311,57 @@ mod tests {
         assert_eq!(
             scaled.numerator().magnitude().to_u64(),
             evaluator.model_count(&q).unwrap().to_u64()
+        );
+    }
+
+    #[test]
+    fn backend_routing_gives_equal_answers() {
+        let q = parse_query(&rst(), "R(x), S(x, y), T(y)").unwrap();
+        let inst = chain(3);
+        let probs: Vec<f64> = (0..inst.fact_count())
+            .map(|i| [0.5, 0.25, 0.75][i % 3])
+            .collect();
+        let valuation = ProbabilityValuation::from_f64(&inst, &probs);
+        let reference =
+            ProbabilityEvaluator::new(&inst, &valuation).query_probability_bruteforce(&q);
+        for backend in [
+            crate::LineageBackend::LegacyObdd,
+            crate::LineageBackend::SharedDd,
+            crate::LineageBackend::StructuredDnnf,
+        ] {
+            let evaluator = ProbabilityEvaluator::new(&inst, &valuation).with_backend(backend);
+            assert_eq!(evaluator.backend(), backend);
+            assert_eq!(
+                evaluator.query_probability(&q).unwrap(),
+                reference,
+                "{backend:?}"
+            );
+            assert_eq!(
+                evaluator.model_count(&q).unwrap().to_u64(),
+                evaluator.model_count_bruteforce(&q).to_u64(),
+                "{backend:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn general_wmc_matches_bruteforce() {
+        let q = parse_query(&rst(), "R(x), S(x, y), T(y)").unwrap();
+        let inst = chain(2);
+        let valuation = ProbabilityValuation::all_one_half(&inst);
+        let evaluator = ProbabilityEvaluator::new(&inst, &valuation);
+        // Weights that do not sum to 1 per fact.
+        let pos = |f: FactId| Rational::from_ratio_u64(f.0 as u64 + 2, 3);
+        let neg = |f: FactId| Rational::from_ratio_u64(1, f.0 as u64 + 1);
+        assert_eq!(
+            evaluator.query_wmc(&q, &pos, &neg).unwrap(),
+            evaluator.query_wmc_bruteforce(&q, &pos, &neg)
+        );
+        // pos = neg = 1 counts models.
+        let one = |_: FactId| Rational::one();
+        assert_eq!(
+            evaluator.query_wmc(&q, &one, &one).unwrap(),
+            Rational::from_biguint(evaluator.model_count(&q).unwrap())
         );
     }
 

@@ -635,6 +635,70 @@ impl Manager {
         count
     }
 
+    /// Exports `f` as a d-DNNF circuit: every decision node `(v, lo, hi)`
+    /// becomes the deterministic OR of the decomposable branches `v ∧ hi'`
+    /// and `¬v ∧ lo'` (constant-false branches elided, constant-true
+    /// children folded into the bare literal). Complement edges are resolved
+    /// by memoizing per *signed* reference — `f` and `¬f` each export their
+    /// own gates — so the circuit has at most two gate groups per stored
+    /// node: linear in [`Manager::size`]. The result is structured by the
+    /// right-linear vtree over the manager's order
+    /// (`Vtree::right_linear(manager.order())`), which is the structure
+    /// witness the d-SDNNF lineage backend hands out.
+    pub fn export_dnnf(&self, f: NodeId) -> Circuit {
+        let mut circuit = Circuit::new();
+        let mut memo: HashMap<NodeId, treelineage_circuit::GateId> = HashMap::new();
+        let output = self.export_gate(f, &mut circuit, &mut memo);
+        circuit.set_output(output);
+        circuit
+    }
+
+    fn export_gate(
+        &self,
+        r: NodeId,
+        circuit: &mut Circuit,
+        memo: &mut HashMap<NodeId, treelineage_circuit::GateId>,
+    ) -> treelineage_circuit::GateId {
+        if let Some(&g) = memo.get(&r) {
+            return g;
+        }
+        let gate = if r == NodeId::TRUE {
+            circuit.constant(true)
+        } else if r == NodeId::FALSE {
+            circuit.constant(false)
+        } else {
+            let (var, lo, hi) = self.decision_parts(r).expect("non-terminal");
+            let v = circuit.var(var);
+            let hi_branch = if hi == NodeId::FALSE {
+                None
+            } else if hi == NodeId::TRUE {
+                Some(v)
+            } else {
+                let hi_gate = self.export_gate(hi, circuit, memo);
+                Some(circuit.and(vec![v, hi_gate]))
+            };
+            let lo_branch = if lo == NodeId::FALSE {
+                None
+            } else {
+                let not_v = circuit.not(v);
+                if lo == NodeId::TRUE {
+                    Some(not_v)
+                } else {
+                    let lo_gate = self.export_gate(lo, circuit, memo);
+                    Some(circuit.and(vec![not_v, lo_gate]))
+                }
+            };
+            match (hi_branch, lo_branch) {
+                (Some(h), Some(l)) => circuit.or(vec![h, l]),
+                (Some(h), None) => h,
+                (None, Some(l)) => l,
+                (None, None) => unreachable!("reduced node with two false children"),
+            }
+        };
+        memo.insert(r, gate);
+        gate
+    }
+
     /// Engine statistics: store and cache sizes plus the persistent cache's
     /// hit counters.
     pub fn stats(&self) -> Stats {

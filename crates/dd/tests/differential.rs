@@ -156,6 +156,36 @@ proptest! {
     }
 
     #[test]
+    fn export_dnnf_is_a_certified_structured_ddnnf(c in arbitrary_circuit(VARS, 12)) {
+        let vars: Vec<VarId> = (0..VARS).collect();
+        let (_, manager, root) = compile_both(&c);
+        // The export passes full d-DNNF verification (incl. the exhaustive
+        // determinism check) and is structured by the right-linear vtree
+        // over the manager's order.
+        let exported = treelineage_circuit::Dnnf::verify(manager.export_dnnf(root)).unwrap();
+        let vtree = treelineage_circuit::Vtree::right_linear(manager.order());
+        prop_assert!(vtree.respects(exported.circuit()).is_ok());
+        for mask in 0u64..(1 << VARS) {
+            let w = world(mask, &vars);
+            prop_assert_eq!(exported.circuit().evaluate_set(&w), c.evaluate_set(&w));
+        }
+        // Smoothing the export gives the same model count as the engine,
+        // through the single integer pass.
+        let smooth = exported.smooth(&vars);
+        prop_assert!(smooth.is_smooth());
+        prop_assert_eq!(
+            smooth.count_models_smooth().to_u64(),
+            manager.count_models(root).to_u64()
+        );
+        // Complement edges export correctly: ¬f's circuit computes ¬f.
+        let negated = manager.export_dnnf(root.not());
+        for mask in 0u64..(1 << VARS) {
+            let w = world(mask, &vars);
+            prop_assert_eq!(negated.evaluate_set(&w), !c.evaluate_set(&w));
+        }
+    }
+
+    #[test]
     fn persistent_cache_makes_recompilation_free(c in arbitrary_circuit(VARS, 12)) {
         let (_, mut manager, root) = compile_both(&c);
         let before = manager.stats();

@@ -62,6 +62,32 @@ proptest! {
     }
 
     #[test]
+    fn biguint_gcd_multi_limb_with_known_factor(a in 1u64..u64::MAX, b in 1u64..u64::MAX, shift in 0usize..100) {
+        // gcd(a·g, b·g) for a coprime pair (a, b) equals g exactly; build g
+        // as an arbitrary-precision number so the binary gcd runs on
+        // multi-limb inputs.
+        fn gcd(mut a: u128, mut b: u128) -> u128 {
+            while b != 0 {
+                (a, b) = (b, a % b);
+            }
+            a
+        }
+        let r = gcd(u128::from(a), u128::from(b)) as u64;
+        let (a, b) = (a / r, b / r); // now coprime
+        let g = &(&BigUint::from_u64(a) * &BigUint::from_u64(b)) * &BigUint::pow2(shift);
+        let x = &BigUint::from_u64(a) * &g;
+        let y = &BigUint::from_u64(b) * &g;
+        prop_assert_eq!(x.gcd(&y), g);
+    }
+
+    #[test]
+    fn biguint_trailing_zeros_matches_u128(a in 1u128..u128::MAX, shift in 0usize..200) {
+        let v = &BigUint::from_u128(a) * &BigUint::pow2(shift);
+        prop_assert_eq!(v.trailing_zeros(), a.trailing_zeros() as usize + shift);
+        prop_assert_eq!(BigUint::zero().trailing_zeros(), 0);
+    }
+
+    #[test]
     fn biguint_pow_matches_u128(base in 0u64..1 << 16, exp in 0u32..8) {
         let p = BigUint::from_u64(base).pow(exp);
         prop_assert_eq!(p.to_u128(), Some(u128::from(base).pow(exp)));

@@ -38,12 +38,22 @@ impl TestRng {
         }
     }
 
-    /// Creates an RNG seeded from a test name (FNV-1a hash).
+    /// Creates an RNG seeded from a test name (FNV-1a hash). When the
+    /// `PROPTEST_SEED` environment variable is set to an integer, it is
+    /// mixed into the seed, so a CI workflow can pin (or vary) the generated
+    /// cases for a whole run while staying reproducible; unset, the seed
+    /// depends on the test name alone.
     pub fn from_name(name: &str) -> Self {
         let mut hash = 0xcbf2_9ce4_8422_2325u64;
         for byte in name.bytes() {
             hash ^= u64::from(byte);
             hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        if let Some(seed) = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            hash = hash.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ seed;
         }
         TestRng::new(hash)
     }
