@@ -15,6 +15,29 @@ use std::collections::{BTreeMap, BTreeSet};
 /// A state of a tree automaton (a dense index).
 pub type State = usize;
 
+/// Error of [`TreeAutomaton::determinize_with_budget`]: the subset
+/// construction needed more than the budgeted number of states. On
+/// adversarial automata (many states whose subsets are all reachable) the
+/// construction is exponential; the budget turns that into a typed error
+/// instead of unbounded time and memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeterminizeError {
+    /// The state budget that was exceeded.
+    pub budget: usize,
+}
+
+impl std::fmt::Display for DeterminizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "determinization exceeded the budget of {} subset states",
+            self.budget
+        )
+    }
+}
+
+impl std::error::Error for DeterminizeError {}
+
 /// A nondeterministic bottom-up tree automaton over the alphabet
 /// `{0, ..., alphabet_size - 1}` on full binary trees.
 #[derive(Clone, Debug)]
@@ -178,26 +201,47 @@ impl TreeAutomaton {
     /// in the proof of Theorem 6.11). The resulting automaton is complete and
     /// deterministic and accepts the same trees. States of the result are
     /// subsets of the original states; the mapping back is returned alongside.
+    ///
+    /// Unbudgeted: on adversarial alphabets the subset construction is
+    /// exponential in the state count, so pipelines that accept untrusted
+    /// automata should call [`TreeAutomaton::determinize_with_budget`]
+    /// instead and handle the typed error.
     pub fn determinize(&self) -> (TreeAutomaton, Vec<BTreeSet<State>>) {
+        self.determinize_with_budget(usize::MAX)
+            .expect("unbounded budget cannot be exceeded")
+    }
+
+    /// [`TreeAutomaton::determinize`] with a cap on the number of subset
+    /// states: enumeration stops with a typed [`DeterminizeError`] as soon
+    /// as more than `budget` subsets become reachable, instead of silently
+    /// consuming exponential time and memory.
+    pub fn determinize_with_budget(
+        &self,
+        budget: usize,
+    ) -> Result<(TreeAutomaton, Vec<BTreeSet<State>>), DeterminizeError> {
         // Enumerate reachable subsets bottom-up.
         let mut subsets: Vec<BTreeSet<State>> = Vec::new();
         let mut index: BTreeMap<BTreeSet<State>, usize> = BTreeMap::new();
         let intern = |s: BTreeSet<State>,
                       subsets: &mut Vec<BTreeSet<State>>,
-                      index: &mut BTreeMap<BTreeSet<State>, usize>| {
+                      index: &mut BTreeMap<BTreeSet<State>, usize>|
+         -> Result<usize, DeterminizeError> {
             if let Some(&i) = index.get(&s) {
-                return i;
+                return Ok(i);
+            }
+            if subsets.len() >= budget {
+                return Err(DeterminizeError { budget });
             }
             let i = subsets.len();
             index.insert(s.clone(), i);
             subsets.push(s);
-            i
+            Ok(i)
         };
         // Start with leaf subsets for every label.
         let mut leaf_map: Vec<usize> = Vec::with_capacity(self.alphabet_size);
         for label in 0..self.alphabet_size {
             let subset = self.leaf_transitions[label].clone();
-            leaf_map.push(intern(subset, &mut subsets, &mut index));
+            leaf_map.push(intern(subset, &mut subsets, &mut index)?);
         }
         // Saturate internal transitions.
         let mut internal_map: BTreeMap<(Label, usize, usize), usize> = BTreeMap::new();
@@ -216,7 +260,7 @@ impl TreeAutomaton {
                                 out.extend(self.internal_states(label, l, r));
                             }
                         }
-                        let target = intern(out, &mut subsets, &mut index);
+                        let target = intern(out, &mut subsets, &mut index)?;
                         internal_map.insert((label, li, ri), target);
                     }
                 }
@@ -239,7 +283,7 @@ impl TreeAutomaton {
                 det.add_accepting(i);
             }
         }
-        (det, subsets)
+        Ok((det, subsets))
     }
 
     /// The product automaton accepting the intersection of the two languages.
@@ -415,6 +459,35 @@ mod tests {
             let tree = leaf_word_tree(&bits);
             assert_eq!(complement.accepts(&tree), !parity.accepts(&tree));
         }
+    }
+
+    #[test]
+    fn determinize_budget_guards_subset_blowup() {
+        // Adversarial automaton: label 0 unions child states, so every
+        // nonempty subset of the 12 states is reachable (2^12 - 1 subsets).
+        let n = 12;
+        let mut a = TreeAutomaton::new(n, n);
+        for i in 0..n {
+            a.add_leaf_transition(i, i);
+        }
+        for l in 0..n {
+            for r in 0..n {
+                a.add_internal_transition(0, l, r, l);
+                a.add_internal_transition(0, l, r, r);
+            }
+        }
+        a.add_accepting(0);
+        assert_eq!(
+            a.determinize_with_budget(64).unwrap_err(),
+            DeterminizeError { budget: 64 }
+        );
+        // A sufficient budget succeeds and matches the unbudgeted result.
+        let nta = exists_one_automaton(2);
+        let (budgeted, subsets) = nta.determinize_with_budget(1024).unwrap();
+        let (unbudgeted, expected_subsets) = nta.determinize();
+        assert!(budgeted.is_deterministic());
+        assert_eq!(subsets, expected_subsets);
+        assert_eq!(budgeted.state_count(), unbudgeted.state_count());
     }
 
     #[test]

@@ -36,7 +36,9 @@ pub mod strategies;
 mod structured;
 mod tree;
 
-pub use automaton::{exists_one_automaton, parity_automaton, State, TreeAutomaton};
+pub use automaton::{
+    exists_one_automaton, parity_automaton, DeterminizeError, State, TreeAutomaton,
+};
 pub use provenance::{acceptance_probability_bruteforce, provenance_circuit};
 pub use structured::{compile_structured_dnnf, StructuredDnnf, StructuredDnnfError};
 pub use tree::{BinaryTree, Label, NodeAnnotation, NodeId, UncertainTree};

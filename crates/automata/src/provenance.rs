@@ -85,21 +85,24 @@ pub fn provenance_circuit(automaton: &TreeAutomaton, tree: &UncertainTree) -> Ci
                         vec![(if_true, Some(v)), (if_false, Some(not_v))]
                     }
                 };
-                for q in 0..states {
-                    let mut disjuncts: Vec<GateId> = Vec::new();
-                    for &(label, guard) in &alternatives {
-                        for ql in 0..states {
-                            for qr in 0..states {
-                                if !automaton.internal_states(label, ql, qr).contains(&q) {
-                                    continue;
-                                }
+                // Iterate only over *live* (non-false) child states, pushing
+                // each discovered run into its target state's disjunct list
+                // (same per-state discovery order as the dense triple loop,
+                // at |live_l| · |live_r| · |alternatives| cost per node).
+                let live_left: Vec<usize> = (0..states)
+                    .filter(|&q| gates[left.0][q] != false_gate)
+                    .collect();
+                let live_right: Vec<usize> = (0..states)
+                    .filter(|&q| gates[right.0][q] != false_gate)
+                    .collect();
+                let mut disjuncts: Vec<Vec<GateId>> = vec![Vec::new(); states];
+                for &(label, guard) in &alternatives {
+                    for &ql in &live_left {
+                        for &qr in &live_right {
+                            for &q in &automaton.internal_states(label, ql, qr) {
                                 let mut conj = vec![gates[left.0][ql], gates[right.0][qr]];
                                 if let Some(g) = guard {
                                     conj.push(g);
-                                }
-                                // Skip conjunctions that are trivially false.
-                                if conj.contains(&false_gate) {
-                                    continue;
                                 }
                                 let conj: Vec<GateId> =
                                     conj.into_iter().filter(|&g| g != true_gate).collect();
@@ -108,10 +111,12 @@ pub fn provenance_circuit(automaton: &TreeAutomaton, tree: &UncertainTree) -> Ci
                                     1 => conj[0],
                                     _ => circuit.and(conj),
                                 };
-                                disjuncts.push(gate);
+                                disjuncts[q].push(gate);
                             }
                         }
                     }
+                }
+                for (q, disjuncts) in disjuncts.into_iter().enumerate() {
                     gates[node.0][q] = match disjuncts.len() {
                         0 => false_gate,
                         1 => disjuncts[0],

@@ -220,19 +220,28 @@ pub fn compile_structured_dnnf(
                         vec![(if_true, Some(v)), (if_false, Some(not_v))]
                     }
                 };
-                for q in 0..states {
-                    let mut disjuncts: Vec<GateId> = Vec::new();
-                    for &(label, guard) in &alternatives {
-                        for ql in 0..states {
-                            for qr in 0..states {
-                                if !automaton.internal_states(label, ql, qr).contains(&q) {
-                                    continue;
-                                }
+                // Iterate only over *live* (non-false) child states and push
+                // each discovered run into its target state's disjunct list:
+                // cost per node is |live_l| · |live_r| · |alternatives|
+                // rather than |states|³, which is what keeps this linear on
+                // the lazily-materialized automata of the encoding pipeline
+                // (whose total state count far exceeds the per-node live
+                // count). Discovery order per target state is (alternative,
+                // left state, right state) lexicographic — identical to the
+                // dense triple loop this replaces.
+                let live_left: Vec<usize> = (0..states)
+                    .filter(|&q| gates[left.0][q] != false_gate)
+                    .collect();
+                let live_right: Vec<usize> = (0..states)
+                    .filter(|&q| gates[right.0][q] != false_gate)
+                    .collect();
+                let mut disjuncts: Vec<Vec<GateId>> = vec![Vec::new(); states];
+                for &(label, guard) in &alternatives {
+                    for &ql in &live_left {
+                        for &qr in &live_right {
+                            for &q in &automaton.internal_states(label, ql, qr) {
                                 let gl = gates[left.0][ql];
                                 let gr = gates[right.0][qr];
-                                if gl == false_gate || gr == false_gate {
-                                    continue;
-                                }
                                 // Nested binary shape guard ∧ (gl ∧ gr):
                                 // what the node's vtree split witnesses.
                                 let inner = conjoin(vec![gl, gr], &mut circuit, true_gate);
@@ -242,10 +251,12 @@ pub fn compile_structured_dnnf(
                                     (Some(gv), None) => gv,
                                     (Some(gv), Some(g)) => circuit.and(vec![gv, g]),
                                 };
-                                disjuncts.push(conj);
+                                disjuncts[q].push(conj);
                             }
                         }
                     }
+                }
+                for (q, disjuncts) in disjuncts.into_iter().enumerate() {
                     gates[node.0][q] = match disjuncts.len() {
                         0 => false_gate,
                         1 => disjuncts[0],

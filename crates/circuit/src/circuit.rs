@@ -223,7 +223,7 @@ impl Circuit {
 
     /// The variables on which each gate depends (computed bottom-up for every
     /// gate; used by OBDD construction — the d-DNNF checks and the smoothing
-    /// pass run on [`Circuit::dependency_bitsets`] instead).
+    /// pass run on the crate-private `Circuit::dependency_bitsets` instead).
     pub fn gate_dependencies(&self) -> Vec<BTreeSet<VarId>> {
         let mut deps: Vec<BTreeSet<VarId>> = Vec::with_capacity(self.gates.len());
         for gate in &self.gates {

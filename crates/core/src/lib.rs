@@ -57,15 +57,15 @@ mod probability;
 
 pub use counting::MatchCounter;
 pub use lineage::{
-    obdd_to_circuit, variable_order_from_decomposition, LineageBackend, LineageBuilder,
-    LineageError, StructuredLineage,
+    obdd_to_circuit, variable_order_from_decomposition, AutomatonLineage, LineageBackend,
+    LineageBuilder, LineageError, StructuredLineage,
 };
 pub use probability::{model_check, ProbabilityEvaluator};
 
 /// Convenience re-exports of the types most users need.
 pub mod prelude {
     pub use crate::{
-        model_check, LineageBackend, LineageBuilder, LineageError, MatchCounter,
+        model_check, AutomatonLineage, LineageBackend, LineageBuilder, LineageError, MatchCounter,
         ProbabilityEvaluator, StructuredLineage,
     };
     pub use treelineage_circuit::{Circuit, Dnnf, Formula, Obdd, Vtree};

@@ -38,10 +38,12 @@ use treelineage_query::{matching, UnionOfConjunctiveQueries};
 /// The compilation backend a lineage-consuming pipeline routes through (see
 /// DESIGN.md "Backend selection").
 ///
-/// All three represent the same Boolean function under the same
-/// decomposition-derived variable order and give exactly equal answers (the
-/// cross-backend differential suite pins this); they differ in data
-/// structure and cost profile.
+/// All backends represent the same Boolean function and give exactly equal
+/// answers (the cross-backend differential suites pin this); they differ in
+/// how the function is compiled — the first three enumerate query matches
+/// and compile the match circuit under a decomposition-derived variable
+/// order, while [`LineageBackend::Automaton`] goes through the tree
+/// encoding and never touches a match.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum LineageBackend {
     /// The per-diagram reduced OBDD of `treelineage_circuit::Obdd` — the
@@ -59,6 +61,15 @@ pub enum LineageBackend {
     /// general weights (after its smoothing pass) and one-pass model
     /// counting — linear in the circuit size per evaluation.
     StructuredDnnf,
+    /// The paper's Section 6 pipeline end to end (Theorems 6.3 / 6.11 made
+    /// constructive by `treelineage_encoding`): tree-encode the instance
+    /// along its decomposition, compile the query into a deterministic
+    /// bottom-up tree automaton on the encoding alphabet, and read the
+    /// lineage off the automaton's provenance as a smooth d-SDNNF — *never
+    /// materializing query matches*, so the per-instance cost is linear in
+    /// the instance for bounded-width families even where match
+    /// enumeration is super-polynomial.
+    Automaton,
 }
 
 /// The lineage compiled into a structured d-DNNF (d-SDNNF): the circuit
@@ -141,6 +152,14 @@ pub enum LineageError {
     /// The provided decomposition is not a valid decomposition of the
     /// instance's Gaifman graph.
     InvalidDecomposition(String),
+    /// The automaton backend failed to tree-encode the instance.
+    Encoding(treelineage_encoding::EncodingError),
+    /// The automaton backend failed to compile the query (state budget,
+    /// representation limits, or an MSO formula outside the fragment).
+    QueryCompile(treelineage_encoding::CompileError),
+    /// The automaton backend's provenance compilation failed (internal: the
+    /// encoder's invariants should rule this out).
+    Provenance(String),
 }
 
 impl std::fmt::Display for LineageError {
@@ -148,11 +167,87 @@ impl std::fmt::Display for LineageError {
         match self {
             LineageError::SignatureMismatch => write!(f, "query and instance signatures differ"),
             LineageError::InvalidDecomposition(e) => write!(f, "invalid decomposition: {e}"),
+            LineageError::Encoding(e) => write!(f, "tree encoding failed: {e}"),
+            LineageError::QueryCompile(e) => write!(f, "query compilation failed: {e}"),
+            LineageError::Provenance(e) => write!(f, "provenance compilation failed: {e}"),
         }
     }
 }
 
 impl std::error::Error for LineageError {}
+
+impl From<treelineage_encoding::EncodingError> for LineageError {
+    fn from(e: treelineage_encoding::EncodingError) -> Self {
+        LineageError::Encoding(e)
+    }
+}
+
+impl From<treelineage_encoding::CompileError> for LineageError {
+    fn from(e: treelineage_encoding::CompileError) -> Self {
+        LineageError::QueryCompile(e)
+    }
+}
+
+/// The lineage produced by the automaton pipeline
+/// ([`LineageBackend::Automaton`]): the provenance d-SDNNF of the
+/// query-derived deterministic tree automaton on the instance's uncertain
+/// tree encoding, whose events are exactly the instance's fact ids.
+///
+/// The artifact is smooth by construction over the full fact universe, so
+/// probability, general-weight WMC and model counting are all single
+/// bottom-up passes. Unlike every other backend, *no query match is ever
+/// materialized* on the way here: the instance only contributes its linear
+/// tree encoding.
+#[derive(Clone, Debug)]
+pub struct AutomatonLineage {
+    structured: treelineage_automata::StructuredDnnf,
+    automaton_states: usize,
+    tree_nodes: usize,
+}
+
+impl AutomatonLineage {
+    /// The certified smooth d-SDNNF over the fact ids.
+    pub fn structured(&self) -> &treelineage_automata::StructuredDnnf {
+        &self.structured
+    }
+
+    /// Number of states of the materialized tree automaton.
+    pub fn automaton_states(&self) -> usize {
+        self.automaton_states
+    }
+
+    /// Number of nodes of the tree encoding.
+    pub fn tree_nodes(&self) -> usize {
+        self.tree_nodes
+    }
+
+    /// Number of gates of the provenance circuit.
+    pub fn size(&self) -> usize {
+        self.structured.size()
+    }
+
+    /// Query probability under independent per-fact probabilities: one
+    /// bottom-up pass.
+    pub fn probability(&self, prob: &dyn Fn(VarId) -> Rational) -> Rational {
+        self.structured.probability(prob)
+    }
+
+    /// Weighted model count with general per-literal weights: one pass (the
+    /// circuit is smooth by construction).
+    pub fn wmc(
+        &self,
+        pos: &dyn Fn(VarId) -> Rational,
+        neg: &dyn Fn(VarId) -> Rational,
+    ) -> Rational {
+        self.structured.wmc(pos, neg)
+    }
+
+    /// Number of satisfying subinstances over the full fact universe: one
+    /// integer pass.
+    pub fn model_count(&self) -> BigUint {
+        self.structured.model_count()
+    }
+}
 
 /// Builder for the lineage of a UCQ≠ on an instance, with compilation into
 /// circuits, OBDDs and d-DNNFs.
@@ -315,6 +410,37 @@ impl<'a> LineageBuilder<'a> {
             universe: order,
         }
     }
+
+    /// Compiles the lineage through the paper's Section 6 automaton
+    /// pipeline ([`LineageBackend::Automaton`]): tree-encode the instance
+    /// along the decomposition, compile the query into a deterministic
+    /// bottom-up tree automaton over the encoding alphabet
+    /// (`treelineage_encoding::compile_ucq`), and extract the provenance
+    /// d-SDNNF of the automaton on the uncertain encoding
+    /// (`treelineage_automata::compile_structured_dnnf`). No query match is
+    /// ever materialized; the per-instance work is linear in the instance
+    /// for bounded-width families.
+    pub fn automaton_lineage(&self) -> Result<AutomatonLineage, LineageError> {
+        let td = self.decomposition_or_default();
+        // Trusted: a supplied decomposition was validated by
+        // `with_decomposition`, and the heuristic fallback is valid by
+        // construction — re-validating here would double the exact cost the
+        // near-linear validate keeps off this path.
+        let encoding = treelineage_encoding::encode_trusted(self.instance, &td)?;
+        let mut compiled = treelineage_encoding::compile_ucq(
+            self.query,
+            encoding.alphabet(),
+            treelineage_encoding::CompileOptions::default(),
+        )?;
+        let automaton = compiled.automaton_for(encoding.tree())?;
+        let structured = treelineage_automata::compile_structured_dnnf(&automaton, encoding.tree())
+            .map_err(|e| LineageError::Provenance(e.to_string()))?;
+        Ok(AutomatonLineage {
+            structured,
+            automaton_states: automaton.state_count(),
+            tree_nodes: encoding.node_count(),
+        })
+    }
 }
 
 /// Derives a fact order from a tree decomposition of the instance's Gaifman
@@ -426,6 +552,7 @@ mod tests {
         let obdd = builder.obdd();
         let ddnnf = builder.ddnnf();
         let structured = builder.structured_dnnf();
+        let automaton = builder.automaton_lineage().unwrap();
         let (manager, root) = builder.dd();
         let n = instance.fact_count();
         assert!(n <= 16, "oracle check limited to 16 facts");
@@ -464,7 +591,24 @@ mod tests {
                 expected,
                 "smoothed structured, mask {mask}"
             );
+            assert_eq!(
+                automaton
+                    .structured()
+                    .dnnf()
+                    .circuit()
+                    .evaluate_set(&world_vars),
+                expected,
+                "automaton pipeline, mask {mask}"
+            );
         }
+        // The automaton pipeline's artifact counts the same models without
+        // ever having enumerated a query match.
+        assert_eq!(
+            automaton.model_count().to_u64(),
+            obdd.count_models().to_u64()
+        );
+        assert!(automaton.automaton_states() > 0);
+        assert!(automaton.tree_nodes() > 0);
         // The structured artifact is certified: smooth where claimed,
         // structured by its vtree, and counting through one integer pass
         // agrees with the other backends.

@@ -79,7 +79,20 @@ impl<'a> ProbabilityEvaluator<'a> {
             LineageBackend::LegacyObdd => self.query_probability_via_legacy_obdd(query),
             LineageBackend::SharedDd => self.query_probability_via_dd(query),
             LineageBackend::StructuredDnnf => self.query_probability_via_structured_dnnf(query),
+            LineageBackend::Automaton => self.query_probability_via_automaton(query),
         }
+    }
+
+    /// The probability computed through the automaton pipeline (tree
+    /// encoding + query→automaton compilation + provenance d-SDNNF; the
+    /// Section 6 route that never materializes query matches), regardless
+    /// of the selected backend.
+    pub fn query_probability_via_automaton(
+        &self,
+        query: &UnionOfConjunctiveQueries,
+    ) -> Result<Rational, LineageError> {
+        let lineage = self.builder(query)?.automaton_lineage()?;
+        Ok(lineage.probability(&|v| self.valuation.probability(FactId(v)).clone()))
     }
 
     /// The probability computed through the shared dd engine, regardless of
@@ -161,22 +174,34 @@ impl<'a> ProbabilityEvaluator<'a> {
                 Ok(manager.count_models(root))
             }
             LineageBackend::StructuredDnnf => Ok(builder.structured_dnnf().model_count()),
+            LineageBackend::Automaton => Ok(builder.automaton_lineage()?.model_count()),
         }
     }
 
     /// General weighted model count: `Σ_worlds Π_facts (pos if present else
     /// neg)`, with weights that need not sum to one per fact (so this is
     /// strictly more general than [`ProbabilityEvaluator::query_probability`];
-    /// e.g. `pos = neg = 1` counts models). Evaluated in one pass over the
-    /// structured backend's smoothed d-DNNF.
+    /// e.g. `pos = neg = 1` counts models). One pass over a smooth circuit:
+    /// the automaton pipeline's provenance d-SDNNF when the
+    /// [`LineageBackend::Automaton`] backend is selected, the structured
+    /// backend's smoothed d-DNNF otherwise.
     pub fn query_wmc(
         &self,
         query: &UnionOfConjunctiveQueries,
         pos: &dyn Fn(FactId) -> Rational,
         neg: &dyn Fn(FactId) -> Rational,
     ) -> Result<Rational, LineageError> {
-        let structured = self.builder(query)?.structured_dnnf();
-        Ok(structured.wmc(&|v| pos(FactId(v)), &|v| neg(FactId(v))))
+        let builder = self.builder(query)?;
+        match self.backend {
+            LineageBackend::Automaton => {
+                let lineage = builder.automaton_lineage()?;
+                Ok(lineage.wmc(&|v| pos(FactId(v)), &|v| neg(FactId(v))))
+            }
+            _ => {
+                let structured = builder.structured_dnnf();
+                Ok(structured.wmc(&|v| pos(FactId(v)), &|v| neg(FactId(v))))
+            }
+        }
     }
 
     /// Brute-force general weighted model count (oracle); exponential,
@@ -328,6 +353,7 @@ mod tests {
             crate::LineageBackend::LegacyObdd,
             crate::LineageBackend::SharedDd,
             crate::LineageBackend::StructuredDnnf,
+            crate::LineageBackend::Automaton,
         ] {
             let evaluator = ProbabilityEvaluator::new(&inst, &valuation).with_backend(backend);
             assert_eq!(evaluator.backend(), backend);

@@ -1,0 +1,539 @@
+//! Tree encodings of treelike instances (Section 6 via \[2\]).
+//!
+//! [`encode`] turns an [`Instance`] together with a [`TreeDecomposition`] of
+//! its Gaifman graph into an [`UncertainTree`] over the
+//! [`EncodingAlphabet`]: the decomposition is first made *nice*
+//! ([`treelineage_graph::NiceTreeDecomposition`]), its nodes become
+//! structural tree labels (introduce / forget / join over bag *slots*), and
+//! every fact of the instance is asserted exactly once — at the topmost node
+//! whose bag covers all of its elements — through a node whose Boolean event
+//! (the fact's id) switches between the `present` and `absent` labels.
+//!
+//! Invariants of the encoding (checked by the round-trip test suite):
+//!
+//! * **Slot consistency.** An element occupies one fixed slot for its whole
+//!   (connected) subtree of bags, assigned top-down at the unique forget
+//!   node above that subtree; two distinct slots of a bag always hold two
+//!   distinct elements.
+//! * **One event per fact.** Every fact of the instance labels exactly one
+//!   node, controlled by the event with the fact's id; the tree's event set
+//!   is exactly the instance's fact-id set.
+//! * **Decodability.** The instance can be reconstructed from the tree alone
+//!   up to renaming of elements ([`TreeEncoding::decode_fresh`]), and
+//!   exactly when the encoder's element table is kept
+//!   ([`TreeEncoding::decode`]): instantiating the events with a world
+//!   (fact subset) decodes to precisely that subinstance.
+//!
+//! Elements appearing in no bag of the decomposition (isolated vertices of
+//! the Gaifman graph, which [`TreeDecomposition::validate`] permits to be
+//! uncovered) are wrapped around the root as introduce / facts / forget
+//! chains, so every fact is always encoded.
+
+use crate::alphabet::{AlphabetError, EncodingAlphabet, LabelKind};
+use std::collections::BTreeMap;
+use treelineage_automata::{BinaryTree, NodeId, UncertainTree};
+use treelineage_graph::{NiceNode, NiceTreeDecomposition, TreeDecomposition, Vertex};
+use treelineage_instance::{Element, FactId, Instance, Signature};
+
+/// Errors reported by [`encode`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EncodingError {
+    /// The decomposition is not a valid tree decomposition of the instance's
+    /// Gaifman graph.
+    InvalidDecomposition(String),
+    /// The encoding alphabet for this signature / width is too large.
+    Alphabet(AlphabetError),
+}
+
+impl std::fmt::Display for EncodingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncodingError::InvalidDecomposition(e) => write!(f, "invalid decomposition: {e}"),
+            EncodingError::Alphabet(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EncodingError {}
+
+impl From<AlphabetError> for EncodingError {
+    fn from(e: AlphabetError) -> Self {
+        EncodingError::Alphabet(e)
+    }
+}
+
+/// A tree encoding of a treelike instance: the uncertain tree, its alphabet,
+/// and the bookkeeping needed for exact decoding.
+#[derive(Clone, Debug)]
+pub struct TreeEncoding {
+    alphabet: EncodingAlphabet,
+    tree: UncertainTree,
+    signature: Signature,
+    fact_count: usize,
+    /// For every `Forget` node (top-down: the node below which the element is
+    /// alive), the element it binds — the encoder's element table, used by
+    /// [`TreeEncoding::decode`] for exact reconstruction.
+    forget_elements: BTreeMap<usize, Element>,
+    /// The tree node asserting each fact.
+    fact_nodes: BTreeMap<FactId, NodeId>,
+}
+
+impl TreeEncoding {
+    /// The uncertain tree (events are fact ids).
+    pub fn tree(&self) -> &UncertainTree {
+        &self.tree
+    }
+
+    /// The alphabet the tree is labelled over.
+    pub fn alphabet(&self) -> &EncodingAlphabet {
+        &self.alphabet
+    }
+
+    /// Number of facts encoded (= number of events).
+    pub fn fact_count(&self) -> usize {
+        self.fact_count
+    }
+
+    /// Number of nodes of the encoding tree (linear in the instance size for
+    /// a fixed width).
+    pub fn node_count(&self) -> usize {
+        self.tree.tree().node_count()
+    }
+
+    /// The node asserting the given fact.
+    pub fn fact_node(&self, fact: FactId) -> Option<NodeId> {
+        self.fact_nodes.get(&fact).copied()
+    }
+
+    /// Decodes the tree under a world (set of present facts) back into the
+    /// exact subinstance of the original: the decoded instance contains
+    /// precisely the facts of the world, over the original elements.
+    pub fn decode(&self, present: &dyn Fn(FactId) -> bool) -> Instance {
+        self.decode_with(present, Some(&self.forget_elements))
+    }
+
+    /// Decodes the tree using only the information in the tree itself:
+    /// elements are freshly numbered in top-down binding order, so the result
+    /// is isomorphic to (rather than equal to) the corresponding
+    /// subinstance. This is the paper's "decode" direction — the encoding is
+    /// self-contained.
+    pub fn decode_fresh(&self, present: &dyn Fn(FactId) -> bool) -> Instance {
+        self.decode_with(present, None)
+    }
+
+    fn decode_with(
+        &self,
+        present: &dyn Fn(FactId) -> bool,
+        elements: Option<&BTreeMap<usize, Element>>,
+    ) -> Instance {
+        let mut instance = Instance::new(self.signature.clone());
+        let tree = self.tree.tree();
+        let mut fresh = 0u64;
+        // Top-down walk carrying the slot -> element binding of the current
+        // bag.
+        let mut stack: Vec<(NodeId, BTreeMap<usize, Element>)> =
+            vec![(tree.root(), BTreeMap::new())];
+        while let Some((node, bag)) = stack.pop() {
+            let label = self.tree.label_under(node, &|event| present(FactId(event)));
+            match self.alphabet.kind(label) {
+                LabelKind::Empty => {}
+                LabelKind::Join => {
+                    if let Some((l, r)) = tree.children(node) {
+                        stack.push((l, bag.clone()));
+                        stack.push((r, bag));
+                    }
+                }
+                LabelKind::Introduce(slot) => {
+                    // Going down, the introduced element leaves the bag.
+                    if let Some((l, r)) = tree.children(node) {
+                        let mut below = bag.clone();
+                        below.remove(&slot);
+                        stack.push((l, below));
+                        stack.push((r, bag));
+                    }
+                }
+                LabelKind::Forget(slot) => {
+                    // Going down, the forgotten element is born at `slot`.
+                    let element = match elements {
+                        Some(table) => table[&node.0],
+                        None => {
+                            let e = Element(fresh);
+                            fresh += 1;
+                            e
+                        }
+                    };
+                    if let Some((l, r)) = tree.children(node) {
+                        let mut below = bag.clone();
+                        below.insert(slot, element);
+                        stack.push((l, below));
+                        stack.push((r, bag));
+                    }
+                }
+                LabelKind::Fact {
+                    relation,
+                    slots,
+                    present,
+                } => {
+                    if present {
+                        let args: Vec<Element> = slots.iter().map(|s| bag[s]).collect();
+                        instance.add_fact(relation, args);
+                    }
+                    if let Some((l, r)) = tree.children(node) {
+                        stack.push((l, bag.clone()));
+                        stack.push((r, bag));
+                    }
+                }
+            }
+        }
+        instance
+    }
+}
+
+/// Encodes `instance` as an uncertain tree over the alphabet derived from
+/// its signature and the width of `decomposition` (a tree decomposition of
+/// the instance's Gaifman graph; validated). See the module docs for the
+/// construction and its invariants.
+pub fn encode(
+    instance: &Instance,
+    decomposition: &TreeDecomposition,
+) -> Result<TreeEncoding, EncodingError> {
+    let (graph, _) = instance.gaifman_graph();
+    decomposition
+        .validate(&graph)
+        .map_err(|e| EncodingError::InvalidDecomposition(e.to_string()))?;
+    encode_trusted(instance, decomposition)
+}
+
+/// [`encode`] without the validation pass (and without building the Gaifman
+/// graph at all): for callers that attest `decomposition` is a valid tree
+/// decomposition of the instance's Gaifman graph — already validated (e.g.
+/// `LineageBuilder::with_decomposition`) or valid by construction (the
+/// heuristic upper bounds). On an invalid decomposition the encoding's
+/// invariants (and the automaton pipeline's answers) are silently wrong.
+pub fn encode_trusted(
+    instance: &Instance,
+    decomposition: &TreeDecomposition,
+) -> Result<TreeEncoding, EncodingError> {
+    let domain: Vec<Element> = instance.domain().into_iter().collect();
+    let element_of: Vec<Element> = domain.clone();
+    let vertex_of: BTreeMap<Element, Vertex> =
+        domain.iter().enumerate().map(|(i, &e)| (e, i)).collect();
+
+    let nice = NiceTreeDecomposition::from_tree_decomposition(decomposition);
+    let alphabet = EncodingAlphabet::new(instance.signature(), nice.width())?;
+
+    // Top-down pass over the nice decomposition: per-node depth and slot
+    // assignment (element slots are fixed for a vertex's whole occurrence
+    // subtree, chosen smallest-free at the unique node below its forget).
+    let n = nice.node_count();
+    let mut depth = vec![0usize; n];
+    let mut slots: Vec<BTreeMap<Vertex, usize>> = vec![BTreeMap::new(); n];
+    let mut down = vec![nice.root()];
+    while let Some(id) = down.pop() {
+        let sigma = slots[id].clone();
+        let d = depth[id];
+        match *nice.node(id) {
+            NiceNode::Leaf => {}
+            NiceNode::Introduce { vertex, child } => {
+                let mut below = sigma;
+                below.remove(&vertex);
+                slots[child] = below;
+                depth[child] = d + 1;
+                down.push(child);
+            }
+            NiceNode::Forget { vertex, child } => {
+                let mut below = sigma;
+                let free = (0..alphabet.slot_count())
+                    .find(|s| !below.values().any(|&t| t == *s))
+                    .expect("a width-k bag leaves a free slot");
+                below.insert(vertex, free);
+                slots[child] = below;
+                depth[child] = d + 1;
+                down.push(child);
+            }
+            NiceNode::Join { left, right } => {
+                slots[left] = sigma.clone();
+                slots[right] = sigma;
+                depth[left] = d + 1;
+                depth[right] = d + 1;
+                down.push(left);
+                down.push(right);
+            }
+        }
+    }
+
+    // Attach every fact to the topmost nice node whose bag covers all of its
+    // elements. Facts over elements outside every bag (isolated Gaifman
+    // vertices) are collected per element and wrapped around the root below.
+    let mut occurrences: BTreeMap<Vertex, Vec<usize>> = BTreeMap::new();
+    for id in 0..n {
+        for &v in nice.bag(id) {
+            occurrences.entry(v).or_default().push(id);
+        }
+    }
+    let mut facts_at: Vec<Vec<FactId>> = vec![Vec::new(); n];
+    let mut root_facts: Vec<FactId> = Vec::new();
+    let mut wrapped: BTreeMap<Element, Vec<FactId>> = BTreeMap::new();
+    for (fact_id, fact) in instance.facts() {
+        let vertices: Vec<Vertex> = fact.elements().iter().map(|e| vertex_of[e]).collect();
+        if vertices.is_empty() {
+            root_facts.push(fact_id);
+            continue;
+        }
+        let rarest = vertices
+            .iter()
+            .min_by_key(|v| occurrences.get(v).map_or(0, |o| o.len()))
+            .copied()
+            .expect("nonempty vertex list");
+        match occurrences.get(&rarest) {
+            None => {
+                // Uncovered: only possible when the fact touches one isolated
+                // element (multi-element facts induce covered Gaifman edges).
+                debug_assert_eq!(vertices.len(), 1);
+                wrapped
+                    .entry(element_of[vertices[0]])
+                    .or_default()
+                    .push(fact_id);
+            }
+            Some(candidates) => {
+                let node = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&id| {
+                        let bag = nice.bag(id);
+                        vertices.iter().all(|v| bag.contains(v))
+                    })
+                    .min_by_key(|&id| depth[id])
+                    .expect("a clique of the Gaifman graph fits in some bag");
+                facts_at[node].push(fact_id);
+            }
+        }
+    }
+    for list in facts_at.iter_mut() {
+        list.sort_unstable();
+    }
+    root_facts.sort_unstable();
+
+    // Bottom-up construction of the binary encoding tree.
+    let mut tree = BinaryTree::new();
+    let mut forget_elements: BTreeMap<usize, Element> = BTreeMap::new();
+    let mut fact_events: Vec<(NodeId, FactId, usize, usize)> = Vec::new();
+    let mut fact_nodes: BTreeMap<FactId, NodeId> = BTreeMap::new();
+    let mut encoded: Vec<Option<NodeId>> = vec![None; n];
+    let empty = alphabet.empty();
+
+    let push_fact_chain = |tree: &mut BinaryTree,
+                           fact_events: &mut Vec<(NodeId, FactId, usize, usize)>,
+                           fact_nodes: &mut BTreeMap<FactId, NodeId>,
+                           mut acc: NodeId,
+                           facts: &[FactId],
+                           sigma: &BTreeMap<Vertex, usize>| {
+        for &fact_id in facts {
+            let fact = instance.fact(fact_id);
+            let slot_tuple: Vec<usize> = fact
+                .arguments()
+                .iter()
+                .map(|e| sigma[&vertex_of[e]])
+                .collect();
+            let present = alphabet.fact(fact.relation(), &slot_tuple, true);
+            let absent = alphabet.fact(fact.relation(), &slot_tuple, false);
+            let pad = tree.leaf(empty);
+            let node = tree.internal(present, acc, pad);
+            fact_events.push((node, fact_id, present, absent));
+            fact_nodes.insert(fact_id, node);
+            acc = node;
+        }
+        acc
+    };
+
+    for id in nice.post_order() {
+        let base = match *nice.node(id) {
+            NiceNode::Leaf => tree.leaf(empty),
+            NiceNode::Introduce { vertex, child } => {
+                let pad = tree.leaf(empty);
+                let below = encoded[child].expect("post-order");
+                tree.internal(alphabet.introduce(slots[id][&vertex]), below, pad)
+            }
+            NiceNode::Forget { vertex, child } => {
+                let pad = tree.leaf(empty);
+                let below = encoded[child].expect("post-order");
+                let node = tree.internal(alphabet.forget(slots[child][&vertex]), below, pad);
+                forget_elements.insert(node.0, element_of[vertex]);
+                node
+            }
+            NiceNode::Join { left, right } => {
+                let l = encoded[left].expect("post-order");
+                let r = encoded[right].expect("post-order");
+                tree.internal(alphabet.join(), l, r)
+            }
+        };
+        encoded[id] = Some(push_fact_chain(
+            &mut tree,
+            &mut fact_events,
+            &mut fact_nodes,
+            base,
+            &facts_at[id],
+            &slots[id],
+        ));
+    }
+
+    let mut root = encoded[nice.root()].expect("root encoded");
+    // Nullary facts (no elements) sit directly above the nice root.
+    root = push_fact_chain(
+        &mut tree,
+        &mut fact_events,
+        &mut fact_nodes,
+        root,
+        &root_facts,
+        &BTreeMap::new(),
+    );
+    // Wrap uncovered elements: introduce at slot 0, assert their facts,
+    // forget again. The fact slots all reference slot 0.
+    for (&element, facts) in &wrapped {
+        let pad = tree.leaf(empty);
+        let intro = tree.internal(alphabet.introduce(0), root, pad);
+        let sigma: BTreeMap<Vertex, usize> =
+            std::iter::once((vertex_of[&element], 0usize)).collect();
+        let mut facts = facts.clone();
+        facts.sort_unstable();
+        let chain = push_fact_chain(
+            &mut tree,
+            &mut fact_events,
+            &mut fact_nodes,
+            intro,
+            &facts,
+            &sigma,
+        );
+        let pad = tree.leaf(empty);
+        let forget = tree.internal(alphabet.forget(0), chain, pad);
+        forget_elements.insert(forget.0, element);
+        root = forget;
+    }
+    tree.set_root(root);
+
+    let mut uncertain = UncertainTree::certain(tree);
+    for &(node, fact_id, present, absent) in &fact_events {
+        uncertain.set_event(node, fact_id.0, present, absent);
+    }
+    debug_assert_eq!(fact_events.len(), instance.fact_count());
+
+    Ok(TreeEncoding {
+        alphabet,
+        tree: uncertain,
+        signature: instance.signature().clone(),
+        fact_count: instance.fact_count(),
+        forget_elements,
+        fact_nodes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use treelineage_instance::Signature;
+
+    fn rst() -> Signature {
+        Signature::builder()
+            .relation("R", 1)
+            .relation("S", 2)
+            .relation("T", 1)
+            .build()
+    }
+
+    fn chain(n: usize) -> Instance {
+        let mut inst = Instance::new(rst());
+        for i in 0..n as u64 {
+            inst.add_fact_by_name("R", &[i]);
+            inst.add_fact_by_name("S", &[i, i + 1]);
+            inst.add_fact_by_name("T", &[i + 1]);
+        }
+        inst
+    }
+
+    fn heuristic_td(inst: &Instance) -> TreeDecomposition {
+        let (graph, _) = inst.gaifman_graph();
+        treelineage_graph::treewidth::treewidth_upper_bound(&graph).1
+    }
+
+    fn same_facts(a: &Instance, b: &Instance) -> bool {
+        a.fact_count() == b.fact_count() && a.includes(b)
+    }
+
+    #[test]
+    fn encode_chain_and_decode_full_world() {
+        let inst = chain(4);
+        let encoding = encode(&inst, &heuristic_td(&inst)).unwrap();
+        assert_eq!(encoding.fact_count(), inst.fact_count());
+        assert_eq!(
+            encoding.tree().events(),
+            (0..inst.fact_count()).collect::<Vec<_>>()
+        );
+        let decoded = encoding.decode(&|_| true);
+        assert!(same_facts(&decoded, &inst));
+    }
+
+    #[test]
+    fn decode_of_worlds_matches_subinstances() {
+        let inst = chain(2);
+        let encoding = encode(&inst, &heuristic_td(&inst)).unwrap();
+        for mask in 0u32..(1 << inst.fact_count()) {
+            let world: BTreeSet<FactId> = (0..inst.fact_count())
+                .filter(|i| mask >> i & 1 == 1)
+                .map(FactId)
+                .collect();
+            let decoded = encoding.decode(&|f| world.contains(&f));
+            let expected = inst.subinstance(&world);
+            assert!(same_facts(&decoded, &expected), "mask {mask}");
+        }
+    }
+
+    #[test]
+    fn decode_fresh_is_isomorphic() {
+        let inst = chain(3);
+        let encoding = encode(&inst, &heuristic_td(&inst)).unwrap();
+        let decoded = encoding.decode_fresh(&|_| true);
+        assert!(decoded.isomorphic_to(&inst));
+    }
+
+    #[test]
+    fn uncovered_elements_are_wrapped() {
+        // Unary facts over isolated elements plus an S-loop: neither element
+        // has a Gaifman edge, so an empty decomposition is valid — the
+        // encoder must wrap both.
+        let mut inst = Instance::new(rst());
+        inst.add_fact_by_name("R", &[7]);
+        inst.add_fact_by_name("T", &[7]);
+        inst.add_fact_by_name("S", &[9, 9]);
+        let encoding = encode(&inst, &TreeDecomposition::new()).unwrap();
+        assert_eq!(encoding.fact_count(), 3);
+        let decoded = encoding.decode(&|_| true);
+        assert!(same_facts(&decoded, &inst));
+        let partial = encoding.decode(&|f| f.0 != 1);
+        assert_eq!(partial.fact_count(), 2);
+    }
+
+    #[test]
+    fn invalid_decomposition_is_rejected() {
+        let inst = chain(2);
+        let result = encode(&inst, &TreeDecomposition::new());
+        assert!(matches!(
+            result,
+            Err(EncodingError::InvalidDecomposition(_))
+        ));
+    }
+
+    #[test]
+    fn encoding_is_linear_in_the_instance() {
+        let sizes: Vec<usize> = [8usize, 16, 32, 64]
+            .iter()
+            .map(|&n| {
+                let inst = chain(n);
+                encode(&inst, &heuristic_td(&inst)).unwrap().node_count()
+            })
+            .collect();
+        for w in sizes.windows(2) {
+            assert!(w[1] <= 3 * w[0], "sizes {sizes:?}");
+        }
+    }
+}

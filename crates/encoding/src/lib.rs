@@ -1,0 +1,43 @@
+//! Tree encodings + query→tree-automaton compilation: the paper's Section 6
+//! pipeline made end-to-end constructive.
+//!
+//! The headline upper bounds of the paper (Theorems 6.3 and 6.11) compute
+//! lineages in time *linear in the instance*: tree-encode the
+//! bounded-treewidth instance, compile the query into a tree automaton over
+//! the encoding alphabet, and read the lineage off the automaton's
+//! provenance on the uncertain encoding (one Boolean event per fact). This
+//! crate provides the two instance-independent ingredients:
+//!
+//! * [`EncodingAlphabet`] / [`encode`] — the ΣI alphabet for a signature at
+//!   a decomposition width, and the tree encoder turning an
+//!   [`Instance`](treelineage_instance::Instance) plus a
+//!   [`TreeDecomposition`](treelineage_graph::TreeDecomposition) (made nice
+//!   via [`treelineage_graph::NiceTreeDecomposition`]) into a binary
+//!   [`UncertainTree`](treelineage_automata::UncertainTree), with a decode
+//!   direction and round-trip validation;
+//! * [`compile_ucq`] / [`compile_mso`] — compilation of UCQ≠ queries (and
+//!   the existential-positive fragment of [`MsoFormula`]) into
+//!   *deterministic* bottom-up tree automata on that alphabet by a
+//!   bottom-up subset construction over partial-match configurations, with
+//!   a state budget and typed [`CompileError`]s.
+//!
+//! Downstream, `treelineage_core`'s `LineageBackend::Automaton` chains
+//! these with [`treelineage_automata::compile_structured_dnnf`] into the
+//! full pipeline: probability / model counting / weighted model counting
+//! without ever materializing query matches.
+//!
+//! [`MsoFormula`]: treelineage_query::MsoFormula
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alphabet;
+mod compile;
+mod encode;
+
+pub use alphabet::{AlphabetError, EncodingAlphabet, LabelKind, MAX_ALPHABET_SIZE};
+pub use compile::{
+    compile_mso, compile_ucq, mso_to_ucq, CompileError, CompileOptions, CompiledQuery,
+    DEFAULT_STATE_BUDGET,
+};
+pub use encode::{encode, encode_trusted, EncodingError, TreeEncoding};

@@ -166,6 +166,12 @@ impl TreeDecomposition {
     /// Every vertex of `g` that occurs in some edge must be covered; isolated
     /// vertices of `g` are not required to appear (matching the paper's
     /// active-domain semantics) but are allowed to.
+    ///
+    /// Runs in `O(Σ|bag|² + |V| + |E|)` — near-linear for bounded-width
+    /// decompositions — so pipelines can afford to validate on every call
+    /// (the tree-encoding pipeline validates once per encode, on instances
+    /// where a quadratic scan over all bags per vertex/edge would dominate
+    /// the whole linear-time construction).
     pub fn validate(&self, g: &Graph) -> Result<(), DecompositionError> {
         if self.bags.is_empty() {
             return if g.edge_count() == 0 {
@@ -174,12 +180,14 @@ impl TreeDecomposition {
                 Err(DecompositionError::Empty)
             };
         }
-        // Range check.
+        // Range check, vertex coverage, and occurrence counting in one pass.
+        let mut occurrence_count = vec![0usize; g.vertex_count()];
         for bag in &self.bags {
             for &v in bag {
                 if v >= g.vertex_count() {
                     return Err(DecompositionError::VertexOutOfRange(v));
                 }
+                occurrence_count[v] += 1;
             }
         }
         // Tree check: connected and acyclic.
@@ -187,29 +195,45 @@ impl TreeDecomposition {
         if edge_total != self.bags.len() - 1 || !self.bag_graph_connected() {
             return Err(DecompositionError::NotATree);
         }
-        // Edge coverage.
+        // Edge coverage: collect every vertex pair co-occurring in a bag
+        // (O(Σ|bag|²)), then check the graph's edges against the set.
+        let mut covered: std::collections::HashSet<(Vertex, Vertex)> =
+            std::collections::HashSet::new();
+        for bag in &self.bags {
+            let members: Vec<Vertex> = bag.iter().copied().collect();
+            for (i, &u) in members.iter().enumerate() {
+                for &v in &members[i + 1..] {
+                    covered.insert((u, v)); // bags are sorted: u < v
+                }
+            }
+        }
         for e in g.edges() {
-            if !self
-                .bags
-                .iter()
-                .any(|b| b.contains(&e.u) && b.contains(&e.v))
-            {
+            let key = if e.u < e.v { (e.u, e.v) } else { (e.v, e.u) };
+            if !covered.contains(&key) {
                 return Err(DecompositionError::EdgeNotCovered(e.u, e.v));
             }
         }
-        // Vertex coverage (non-isolated vertices only) and connectivity of
-        // occurrence sets.
+        // Connectivity of occurrence sets: within the decomposition tree, a
+        // vertex's occurrence bags induce a forest; they are connected
+        // exactly when that forest has `occurrences - 1` induced tree edges.
+        let mut induced_edges = vec![0usize; g.vertex_count()];
+        for (a, neighbors) in self.tree.iter().enumerate() {
+            for &b in neighbors {
+                if a < b {
+                    for &v in self.bags[a].intersection(&self.bags[b]) {
+                        induced_edges[v] += 1;
+                    }
+                }
+            }
+        }
         for v in g.vertices() {
-            let occurrences: Vec<BagId> = (0..self.bags.len())
-                .filter(|&b| self.bags[b].contains(&v))
-                .collect();
-            if occurrences.is_empty() {
+            if occurrence_count[v] == 0 {
                 if g.degree(v) > 0 {
                     return Err(DecompositionError::VertexNotCovered(v));
                 }
                 continue;
             }
-            if !self.bags_connected(&occurrences) {
+            if induced_edges[v] + 1 != occurrence_count[v] {
                 return Err(DecompositionError::VertexBagsDisconnected(v));
             }
         }
@@ -234,24 +258,6 @@ impl TreeDecomposition {
             }
         }
         count == self.bags.len()
-    }
-
-    fn bags_connected(&self, subset: &[BagId]) -> bool {
-        if subset.is_empty() {
-            return true;
-        }
-        let inset: BTreeSet<BagId> = subset.iter().copied().collect();
-        let mut seen = BTreeSet::new();
-        let mut stack = vec![subset[0]];
-        seen.insert(subset[0]);
-        while let Some(b) = stack.pop() {
-            for &n in &self.tree[b] {
-                if inset.contains(&n) && seen.insert(n) {
-                    stack.push(n);
-                }
-            }
-        }
-        seen.len() == subset.len()
     }
 
     /// Builds a path decomposition directly from a sequence of bags, chained

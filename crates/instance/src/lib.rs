@@ -7,7 +7,9 @@
 //! ([`ProbabilityValuation`], Definition 3.1), and the concrete instance
 //! families used by the paper's constructions (line instances, S-grids,
 //! complete bipartite instances, bounded-treewidth random instances; see the
-//! [`encodings`] module).
+//! [`encodings`] module). The [`strategies`] module exports reusable
+//! property-testing generators of random treelike instances (with known
+//! decompositions) shared by the workspace's differential suites.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -15,6 +17,7 @@
 pub mod encodings;
 mod instance;
 mod signature;
+pub mod strategies;
 mod tid;
 
 pub use instance::{Element, Fact, FactId, Instance};

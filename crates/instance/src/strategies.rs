@@ -1,0 +1,89 @@
+//! Reusable property-testing strategies for random treelike instances.
+//!
+//! Every differential suite in the workspace wants the same inputs: random
+//! bounded-treewidth instances, small enough for brute-force oracles, with a
+//! *known* tree decomposition to drive the pipelines under test. This module
+//! centralizes those generators (on top of
+//! [`encodings::random_treelike_instance`]) so `tests/` and sibling crates
+//! stop rolling their own seed plumbing. Generation is deterministic through
+//! the in-tree `proptest` shim.
+
+use crate::encodings;
+use crate::instance::Instance;
+use crate::signature::Signature;
+use proptest::prelude::*;
+use treelineage_graph::TreeDecomposition;
+
+/// A strategy generating random treelike instances over `signature`: the
+/// edges of a random partial `width`-tree on up to `max_elements` elements,
+/// labelled with random binary relations, plus random unary facts (see
+/// [`encodings::random_treelike_instance`]). The signature must have at
+/// least one binary relation. Instances may be empty; pair with
+/// `prop_assume!` to bound fact counts for brute-force oracles.
+pub fn treelike_instance(
+    signature: Signature,
+    max_elements: usize,
+    width: usize,
+) -> impl Strategy<Value = Instance> {
+    assert!(max_elements > width, "need more elements than the width");
+    (any::<u64>(), width + 1..max_elements + 1)
+        .prop_map(move |(seed, n)| encodings::random_treelike_instance(&signature, n, width, seed))
+}
+
+/// [`treelike_instance`] together with a validated tree decomposition of
+/// the instance's Gaifman graph (the heuristic upper bound, whose width is
+/// bounded by the partial-`width`-tree construction): the "known
+/// decomposition" that decomposition-driven pipelines are tested with.
+pub fn treelike_instance_with_decomposition(
+    signature: Signature,
+    max_elements: usize,
+    width: usize,
+) -> impl Strategy<Value = (Instance, TreeDecomposition)> {
+    treelike_instance(signature, max_elements, width).prop_map(|inst| {
+        let (graph, _) = inst.gaifman_graph();
+        let (_, td) = treelineage_graph::treewidth::treewidth_upper_bound(&graph);
+        debug_assert!(td.validate(&graph).is_ok());
+        (inst, td)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::strategy::TestRng;
+
+    fn sig() -> Signature {
+        Signature::builder()
+            .relation("R", 2)
+            .relation("S", 2)
+            .relation("L", 1)
+            .build()
+    }
+
+    #[test]
+    fn generated_instances_are_treelike_and_varied() {
+        let strategy = treelike_instance(sig(), 8, 2);
+        let mut rng = TestRng::from_name("generated_instances_are_treelike_and_varied");
+        let mut sizes = std::collections::BTreeSet::new();
+        for _ in 0..32 {
+            let inst = strategy.generate(&mut rng);
+            sizes.insert(inst.fact_count());
+            let (graph, _) = inst.gaifman_graph();
+            let (w, td) = treelineage_graph::treewidth::treewidth_upper_bound(&graph);
+            assert!(td.validate(&graph).is_ok());
+            assert!(w <= 3, "width {w} too large for a partial 2-tree");
+        }
+        assert!(sizes.len() > 3, "sizes not varied: {sizes:?}");
+    }
+
+    #[test]
+    fn decomposition_accompanies_the_instance() {
+        let strategy = treelike_instance_with_decomposition(sig(), 6, 1);
+        let mut rng = TestRng::from_name("decomposition_accompanies_the_instance");
+        for _ in 0..16 {
+            let (inst, td) = strategy.generate(&mut rng);
+            let (graph, _) = inst.gaifman_graph();
+            assert!(td.validate(&graph).is_ok());
+        }
+    }
+}

@@ -6,10 +6,12 @@
 //! syntax and a naive possible-assignments evaluator used as the
 //! ground-truth oracle by tests (it enumerates set assignments, so it is
 //! exponential and restricted to small instances). The tractable evaluation
-//! paths live in the core crate, which compiles specific MSO properties and
-//! all UCQ≠ queries into dynamic programs over tree decompositions; see
-//! DESIGN.md §2 item 1 for the scoping of the generic MSO→automaton
-//! translation.
+//! paths live downstream: `treelineage_encoding::compile_mso` compiles the
+//! existential-positive first-order fragment (atoms, ∧, ∨, ∃, equalities
+//! and negated equalities) into deterministic tree automata over instance
+//! encodings — rejecting the rest with a typed error — and the core crate
+//! evaluates all UCQ≠ queries through that pipeline or through dynamic
+//! programs over tree decompositions; see DESIGN.md §2.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;

@@ -9,11 +9,16 @@
 //! * the shared hash-consed dd engine (`LineageBackend::SharedDd`),
 //! * the structured d-DNNF backend (`LineageBackend::StructuredDnnf`),
 //!   both on relational lineages (dd-exported, order-structured) and on
-//!   automaton provenance (tree-structured, from `compile_structured_dnnf`).
+//!   automaton provenance (tree-structured, from `compile_structured_dnnf`),
+//! * the automaton pipeline (`LineageBackend::Automaton`: tree encoding +
+//!   query→automaton compilation, exercised in depth by
+//!   `tests/pipeline_differential.rs`).
 //!
-//! Generation is deterministic through the in-tree proptest shim (cases are
-//! seeded from the test name, optionally perturbed by `PROPTEST_SEED` — CI
-//! pins that seed so the release-mode run is reproducible).
+//! Instances come from the shared `treelineage_instance::strategies`
+//! generators; generation is deterministic through the in-tree proptest
+//! shim (cases are seeded from the test name, optionally perturbed by
+//! `PROPTEST_SEED` — CI pins that seed so the release-mode run is
+//! reproducible).
 
 use proptest::prelude::*;
 use std::collections::BTreeSet;
@@ -21,7 +26,7 @@ use treelineage::prelude::*;
 use treelineage_automata::{
     acceptance_probability_bruteforce, compile_structured_dnnf, strategies,
 };
-use treelineage_instance::encodings;
+use treelineage_instance::strategies as instance_strategies;
 
 fn sig() -> Signature {
     Signature::builder()
@@ -44,23 +49,23 @@ fn queries() -> Vec<UnionOfConjunctiveQueries> {
     .collect()
 }
 
-const BACKENDS: [LineageBackend; 3] = [
+const BACKENDS: [LineageBackend; 4] = [
     LineageBackend::LegacyObdd,
     LineageBackend::SharedDd,
     LineageBackend::StructuredDnnf,
+    LineageBackend::Automaton,
 ];
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(20))]
 
-    /// Probability and model count on random treelike instances: all three
-    /// backends against the possible-worlds oracle, for every query.
+    /// Probability and model count on random treelike instances: every
+    /// backend against the possible-worlds oracle, for every query.
     #[test]
     fn backends_agree_with_bruteforce_on_treelike_instances(
-        seed in 0u64..100_000,
+        inst in instance_strategies::treelike_instance(sig(), 6, 2),
         qi in 0usize..5,
     ) {
-        let inst = encodings::random_treelike_instance(&sig(), 6, 2, seed);
         prop_assume!(inst.fact_count() > 0 && inst.fact_count() <= 12);
         let q = &queries()[qi];
         let probs: Vec<f64> = (0..inst.fact_count())
@@ -75,12 +80,12 @@ proptest! {
             prop_assert_eq!(
                 evaluator.query_probability(q).unwrap(),
                 expected_probability.clone(),
-                "probability via {:?}, seed {}", backend, seed
+                "probability via {:?}, query {}", backend, q
             );
             prop_assert_eq!(
                 evaluator.model_count(q).unwrap().to_u64(),
                 expected_count.to_u64(),
-                "model count via {:?}, seed {}", backend, seed
+                "model count via {:?}, query {}", backend, q
             );
         }
     }
@@ -89,8 +94,10 @@ proptest! {
     /// structured backend's smoothed one-pass evaluation, against direct
     /// enumeration.
     #[test]
-    fn structured_wmc_agrees_with_bruteforce(seed in 0u64..100_000, qi in 0usize..5) {
-        let inst = encodings::random_treelike_instance(&sig(), 5, 2, seed);
+    fn structured_wmc_agrees_with_bruteforce(
+        inst in instance_strategies::treelike_instance(sig(), 5, 2),
+        qi in 0usize..5,
+    ) {
         prop_assume!(inst.fact_count() > 0 && inst.fact_count() <= 10);
         let q = &queries()[qi];
         let valuation = ProbabilityValuation::all_one_half(&inst);
@@ -107,8 +114,10 @@ proptest! {
     /// monotone lineage circuit on every world, certification (smoothness +
     /// vtree), and cross-backend size coherence.
     #[test]
-    fn structured_lineage_is_certified_and_equivalent(seed in 0u64..100_000, qi in 0usize..5) {
-        let inst = encodings::random_treelike_instance(&sig(), 5, 2, seed);
+    fn structured_lineage_is_certified_and_equivalent(
+        inst in instance_strategies::treelike_instance(sig(), 5, 2),
+        qi in 0usize..5,
+    ) {
         prop_assume!(inst.fact_count() > 0 && inst.fact_count() <= 10);
         let q = &queries()[qi];
         let builder = LineageBuilder::new(q, &inst).unwrap();
