@@ -8,6 +8,24 @@
 //! Theorem 6.11 ("one can always make a tree automaton deterministic \[12\], at
 //! the cost of an increased constant factor"), products, complement and
 //! emptiness testing.
+//!
+//! ```
+//! use treelineage_automata::{BinaryTree, TreeAutomaton};
+//!
+//! // States 0 = even, 1 = odd number of 1-leaves; label 2 combines.
+//! let mut a = TreeAutomaton::new(2, 3);
+//! a.add_leaf_transition(0, 0);
+//! a.add_leaf_transition(1, 1);
+//! for l in 0..2 {
+//!     for r in 0..2 {
+//!         a.add_internal_transition(2, l, r, (l + r) % 2);
+//!     }
+//! }
+//! a.add_accepting(1);
+//! assert!(a.is_deterministic());
+//! assert!(a.accepts(&BinaryTree::comb(&[1, 0], 2)));
+//! assert!(!a.accepts(&BinaryTree::comb(&[1, 1], 2)));
+//! ```
 
 use crate::tree::{BinaryTree, Label};
 use std::collections::{BTreeMap, BTreeSet};

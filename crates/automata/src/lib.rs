@@ -22,10 +22,39 @@
 //!   uncertain trees and deterministic automata, shared with the
 //!   workspace-level cross-backend differential suite.
 //!
-//! The instance-side pipeline (tree encodings of bounded-treewidth relational
-//! instances and query compilation) lives in the core `treelineage` crate,
-//! which uses an equivalent dynamic programming formulation over nice tree
-//! decompositions; see DESIGN.md §2.
+//! The instance-side pipeline (tree encodings of bounded-treewidth
+//! relational instances and query→automaton compilation) lives in
+//! `treelineage-encoding`, the lineage API surfacing both in the core
+//! `treelineage` crate, and `treelineage-engine` compiles the same
+//! provenance over disjoint subtrees on worker threads (bit-identically,
+//! via [`BinaryTree::post_order_from`] subtree segments and
+//! [`StructuredDnnf::from_trusted_parts`]); see DESIGN.md §2 and
+//! §Concurrency.
+//!
+//! The provenance route in one example — an uncertain tree whose three
+//! leaves are each controlled by a Boolean event, against the
+//! odd-number-of-1-leaves automaton:
+//!
+//! ```
+//! use treelineage_automata::{
+//!     compile_structured_dnnf, parity_automaton, BinaryTree, NodeId, UncertainTree,
+//! };
+//! use treelineage_num::Rational;
+//!
+//! let mut uncertain = UncertainTree::certain(BinaryTree::comb(&[0, 0, 0], 2));
+//! for (event, leaf) in [(0usize, NodeId(0)), (1, NodeId(1)), (2, NodeId(3))] {
+//!     uncertain.set_event(leaf, event, 1, 0); // event true ⇒ the leaf reads 1
+//! }
+//! let automaton = parity_automaton(2);
+//! let lineage = compile_structured_dnnf(&automaton, &uncertain).unwrap();
+//! // 4 of the 8 event valuations have an odd number of 1-leaves...
+//! assert_eq!(lineage.model_count().to_u64(), Some(4));
+//! // ...so the acceptance probability under independent fair coins is 1/2.
+//! assert_eq!(
+//!     lineage.probability(&|_| Rational::one_half()),
+//!     Rational::one_half(),
+//! );
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -70,6 +70,23 @@ pub struct StructuredDnnf {
 }
 
 impl StructuredDnnf {
+    /// Assembles a `StructuredDnnf` from parts the caller attests satisfy
+    /// the module invariants: `dnnf` smooth with every gate's scope exactly
+    /// its subtree's events, structured by `vtree`, over the sorted event
+    /// `universe`. The parallel compilation engine (`treelineage-engine`)
+    /// uses this to wrap circuits it builds byte-identically to
+    /// [`compile_structured_dnnf`] from fragments compiled on worker
+    /// threads; like [`Dnnf::from_trusted_circuit`], no properties are
+    /// re-checked here — hand untrusted circuits to [`Dnnf::verify`] and
+    /// [`Vtree::respects`] instead.
+    pub fn from_trusted_parts(dnnf: Dnnf, vtree: Vtree, universe: Vec<usize>) -> Self {
+        StructuredDnnf {
+            dnnf,
+            vtree,
+            universe,
+        }
+    }
+
     /// The underlying d-DNNF (smooth, deterministic, decomposable).
     pub fn dnnf(&self) -> &Dnnf {
         &self.dnnf

@@ -99,8 +99,17 @@ impl BinaryTree {
 
     /// Nodes in post-order (children before parents), starting from the root.
     pub fn post_order(&self) -> Vec<NodeId> {
-        let mut order = Vec::with_capacity(self.node_count());
-        let mut stack = vec![(self.root(), false)];
+        self.post_order_from(self.root())
+    }
+
+    /// Nodes of the subtree rooted at `from`, in post-order. Because a
+    /// subtree's nodes form a contiguous segment of every post-order that
+    /// contains them, this is the traversal the parallel compilation engine
+    /// uses to hand disjoint subtrees to worker threads while keeping the
+    /// merged output identical to a single root-to-leaves pass.
+    pub fn post_order_from(&self, from: NodeId) -> Vec<NodeId> {
+        let mut order = Vec::new();
+        let mut stack = vec![(from, false)];
         while let Some((node, expanded)) = stack.pop() {
             if expanded {
                 order.push(node);

@@ -22,6 +22,7 @@ fn main() {
     table2_lower();
     table1_and_counting();
     dichotomies();
+    engine_section();
 }
 
 fn header(title: &str) {
@@ -419,4 +420,99 @@ fn dichotomies() {
         "  R(x),S(x,y),T(y) inversion-free: {}",
         safe::is_inversion_free(&rst_q)
     );
+}
+
+/// E-7: the parallel engine, routed through the same `with_engine_config`
+/// knob every entry point shares. `TREELINEAGE_THREADS` (default 1) sets
+/// the worker count; results are bit-identical at every setting — this
+/// section prints the artifact sizes and a wall-clock so CI exercises the
+/// parallel path end to end, while the scaling numbers proper live in the
+/// `engine_scaling` Criterion bench (EXPERIMENTS.md §E-7).
+fn engine_section() {
+    let threads: usize = std::env::var("TREELINEAGE_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    header(&format!("E-7: parallel engine (threads = {threads})"));
+    let config = EngineConfig::with_threads(threads);
+
+    let sig = Signature::builder().relation("S", 2).build();
+    let q = parse_query(&sig, "S(x, y), S(y, z), x != z").unwrap();
+    println!(
+        "{:>8} {:>10} {:>12} {:>10} {:>12} {:>12}",
+        "star n", "facts", "dsdnnf size", "fragments", "compile", "eval"
+    );
+    for n in [500usize, 2000, 4000] {
+        let mut inst = Instance::new(sig.clone());
+        for leaf in 1..=n as u64 {
+            if leaf % 2 == 0 {
+                inst.add_fact_by_name("S", &[0, leaf]);
+            } else {
+                inst.add_fact_by_name("S", &[leaf, 0]);
+            }
+        }
+        let bags: Vec<std::collections::BTreeSet<usize>> = (1..=n)
+            .map(|leaf| [0usize, leaf].into_iter().collect())
+            .collect();
+        let td = TreeDecomposition::path_from_bags(bags);
+        let t0 = Instant::now();
+        let lineage = LineageBuilder::new(&q, &inst)
+            .unwrap()
+            .with_decomposition(td)
+            .unwrap()
+            .with_engine_config(config)
+            .automaton_lineage()
+            .unwrap();
+        let t_compile = t0.elapsed();
+        let t1 = Instant::now();
+        let _ = lineage.model_count();
+        let t_eval = t1.elapsed();
+        println!(
+            "{:>8} {:>10} {:>12} {:>10} {:>10.2}ms {:>10.2}ms",
+            n,
+            inst.fact_count(),
+            lineage.size(),
+            lineage.parallel().partition().fragments().len(),
+            t_compile.as_secs_f64() * 1e3,
+            t_eval.as_secs_f64() * 1e3
+        );
+    }
+
+    // Batched serving: one EvalSession, many repeated requests — the
+    // compile happens once and every further request is a cache hit plus
+    // one linear pass.
+    let mut session = EvalSession::with_backend(config, SessionBackend::Automaton);
+    let rst = Signature::builder()
+        .relation("R", 1)
+        .relation("S", 2)
+        .relation("T", 1)
+        .build();
+    let q = parse_query(&rst, "R(x), S(x, y), T(y)").unwrap();
+    let mut inst = Instance::new(rst.clone());
+    for i in 0..200u64 {
+        inst.add_fact_by_name("R", &[i]);
+        inst.add_fact_by_name("S", &[i, i + 1]);
+        inst.add_fact_by_name("T", &[i + 1]);
+    }
+    let qid = session.register_query(q);
+    let iid = session.register_instance(inst);
+    let requests: Vec<_> = (0..32).map(|_| (qid, iid)).collect();
+    let t0 = Instant::now();
+    let cold = session.batch_model_count(&requests);
+    let t_cold = t0.elapsed();
+    let t1 = Instant::now();
+    let warm = session.batch_model_count(&requests);
+    let t_warm = t1.elapsed();
+    let stats = session.stats();
+    println!(
+        "\n  EvalSession: {} model-count requests — cold batch {:.2}ms ({} compile, \
+         batch deduplicated to 1 evaluation), warm batch {:.2}ms ({} cache hit)",
+        cold.len(),
+        t_cold.as_secs_f64() * 1e3,
+        stats.lineage_misses,
+        t_warm.as_secs_f64() * 1e3,
+        stats.lineage_hits
+    );
+    assert!(cold.iter().all(|c| c.is_ok()));
+    assert_eq!(cold, warm);
 }

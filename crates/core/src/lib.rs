@@ -61,12 +61,16 @@ pub use lineage::{
     LineageBuilder, LineageError, StructuredLineage,
 };
 pub use probability::{model_check, ProbabilityEvaluator};
+pub use treelineage_engine::{
+    CircuitPartition, EngineConfig, EngineError, EvalSession, ParallelDnnf, ProbabilityRequest,
+    SessionBackend, SessionStats, WmcRequest,
+};
 
 /// Convenience re-exports of the types most users need.
 pub mod prelude {
     pub use crate::{
-        model_check, AutomatonLineage, LineageBackend, LineageBuilder, LineageError, MatchCounter,
-        ProbabilityEvaluator, StructuredLineage,
+        model_check, AutomatonLineage, EngineConfig, EvalSession, LineageBackend, LineageBuilder,
+        LineageError, MatchCounter, ProbabilityEvaluator, SessionBackend, StructuredLineage,
     };
     pub use treelineage_circuit::{Circuit, Dnnf, Formula, Obdd, Vtree};
     pub use treelineage_dd::{Manager as DdManager, NodeId as DdNodeId, Stats as DdStats};

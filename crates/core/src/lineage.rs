@@ -30,8 +30,9 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use treelineage_circuit::{Circuit, Dnnf, GateId, Obdd, Ref, VarId, Vtree};
-use treelineage_graph::{TreeDecomposition, Vertex};
-use treelineage_instance::{Element, FactId, Instance};
+use treelineage_engine::EngineConfig;
+use treelineage_graph::TreeDecomposition;
+use treelineage_instance::{FactId, Instance};
 use treelineage_num::{BigUint, Rational};
 use treelineage_query::{matching, UnionOfConjunctiveQueries};
 
@@ -200,7 +201,10 @@ impl From<treelineage_encoding::CompileError> for LineageError {
 /// tree encoding.
 #[derive(Clone, Debug)]
 pub struct AutomatonLineage {
-    structured: treelineage_automata::StructuredDnnf,
+    lineage: treelineage_engine::ParallelDnnf,
+    /// Worker threads the evaluation passes fan out over (from the
+    /// builder's [`EngineConfig`]; 1 = sequential).
+    threads: usize,
     automaton_states: usize,
     tree_nodes: usize,
 }
@@ -208,7 +212,14 @@ pub struct AutomatonLineage {
 impl AutomatonLineage {
     /// The certified smooth d-SDNNF over the fact ids.
     pub fn structured(&self) -> &treelineage_automata::StructuredDnnf {
-        &self.structured
+        self.lineage.structured()
+    }
+
+    /// The fragment partition of the provenance circuit (empty when the
+    /// lineage was compiled sequentially), plus the partition-aware
+    /// evaluation wrapper.
+    pub fn parallel(&self) -> &treelineage_engine::ParallelDnnf {
+        &self.lineage
     }
 
     /// Number of states of the materialized tree automaton.
@@ -223,29 +234,33 @@ impl AutomatonLineage {
 
     /// Number of gates of the provenance circuit.
     pub fn size(&self) -> usize {
-        self.structured.size()
+        self.lineage.size()
     }
 
     /// Query probability under independent per-fact probabilities: one
-    /// bottom-up pass.
-    pub fn probability(&self, prob: &dyn Fn(VarId) -> Rational) -> Rational {
-        self.structured.probability(prob)
+    /// bottom-up pass, fragment-parallel when the lineage was compiled with
+    /// `threads > 1` (exact arithmetic: results are identical to the
+    /// sequential pass at every thread count).
+    pub fn probability(&self, prob: &(dyn Fn(VarId) -> Rational + Sync)) -> Rational {
+        self.lineage.probability(prob, self.threads)
     }
 
     /// Weighted model count with general per-literal weights: one pass (the
-    /// circuit is smooth by construction).
+    /// circuit is smooth by construction), fragment-parallel like
+    /// [`AutomatonLineage::probability`].
     pub fn wmc(
         &self,
-        pos: &dyn Fn(VarId) -> Rational,
-        neg: &dyn Fn(VarId) -> Rational,
+        pos: &(dyn Fn(VarId) -> Rational + Sync),
+        neg: &(dyn Fn(VarId) -> Rational + Sync),
     ) -> Rational {
-        self.structured.wmc(pos, neg)
+        self.lineage.wmc(pos, neg, self.threads)
     }
 
     /// Number of satisfying subinstances over the full fact universe: one
-    /// integer pass.
+    /// integer pass, fragment-parallel like
+    /// [`AutomatonLineage::probability`].
     pub fn model_count(&self) -> BigUint {
-        self.structured.model_count()
+        self.lineage.model_count(self.threads)
     }
 }
 
@@ -255,6 +270,7 @@ pub struct LineageBuilder<'a> {
     query: &'a UnionOfConjunctiveQueries,
     instance: &'a Instance,
     decomposition: Option<TreeDecomposition>,
+    engine_config: EngineConfig,
 }
 
 impl<'a> LineageBuilder<'a> {
@@ -270,7 +286,19 @@ impl<'a> LineageBuilder<'a> {
             query,
             instance,
             decomposition: None,
+            engine_config: EngineConfig::default(),
         })
+    }
+
+    /// Routes the automaton pipeline through the parallel engine with the
+    /// given configuration: `threads > 1` compiles and evaluates the
+    /// provenance d-SDNNF over disjoint subtrees on worker threads
+    /// (bit-identical results), and `state_budget` bounds the query
+    /// compiler. The default configuration reproduces the sequential
+    /// behaviour exactly.
+    pub fn with_engine_config(mut self, config: EngineConfig) -> Self {
+        self.engine_config = config;
+        self
     }
 
     /// Supplies a tree decomposition of the instance's Gaifman graph to drive
@@ -430,13 +458,27 @@ impl<'a> LineageBuilder<'a> {
         let mut compiled = treelineage_encoding::compile_ucq(
             self.query,
             encoding.alphabet(),
-            treelineage_encoding::CompileOptions::default(),
+            treelineage_encoding::CompileOptions {
+                state_budget: self.engine_config.state_budget,
+            },
         )?;
         let automaton = compiled.automaton_for(encoding.tree())?;
-        let structured = treelineage_automata::compile_structured_dnnf(&automaton, encoding.tree())
-            .map_err(|e| LineageError::Provenance(e.to_string()))?;
+        let lineage = if self.engine_config.threads > 1 {
+            treelineage_engine::compile_structured_dnnf_parallel(
+                &automaton,
+                encoding.tree(),
+                &self.engine_config,
+            )
+            .map_err(|e| LineageError::Provenance(e.to_string()))?
+        } else {
+            treelineage_engine::ParallelDnnf::sequential(
+                treelineage_automata::compile_structured_dnnf(&automaton, encoding.tree())
+                    .map_err(|e| LineageError::Provenance(e.to_string()))?,
+            )
+        };
         Ok(AutomatonLineage {
-            structured,
+            lineage,
+            threads: self.engine_config.threads,
             automaton_states: automaton.state_count(),
             tree_nodes: encoding.node_count(),
         })
@@ -446,31 +488,15 @@ impl<'a> LineageBuilder<'a> {
 /// Derives a fact order from a tree decomposition of the instance's Gaifman
 /// graph: a depth-first layout of the bags (children in increasing subtree
 /// size, mirroring the in-order traversal ΠR of \[35\]) and, within the layout,
-/// facts attached to the first bag covering them. The layout and placement
-/// are [`treelineage_dd::order`]'s; this function only translates facts into
-/// vertex sets of the Gaifman graph.
+/// facts attached to the first bag covering them. The implementation lives
+/// in [`treelineage_engine::variable_order_from_decomposition`] (shared
+/// with the engine's dd shards); this re-exported delegate keeps the
+/// historical `treelineage` entry point.
 pub fn variable_order_from_decomposition(
     instance: &Instance,
     td: &TreeDecomposition,
 ) -> Vec<VarId> {
-    let domain: Vec<Element> = instance.domain().into_iter().collect();
-    let element_to_vertex: BTreeMap<Element, Vertex> =
-        domain.iter().enumerate().map(|(i, &e)| (e, i)).collect();
-    if td.bag_count() == 0 {
-        return instance.fact_ids().map(|f| f.0).collect();
-    }
-    // Facts are indexed by id (`facts()` iterates in id order), so the item
-    // permutation returned by the placement is directly the fact order.
-    let items: Vec<BTreeSet<Vertex>> = instance
-        .facts()
-        .map(|(_, fact)| {
-            fact.elements()
-                .into_iter()
-                .map(|e| element_to_vertex[&e])
-                .collect()
-        })
-        .collect();
-    treelineage_dd::order::order_by_first_covering_bag(td, &items)
+    treelineage_engine::variable_order_from_decomposition(instance, td)
 }
 
 /// Converts a reduced OBDD into an equivalent circuit that satisfies the

@@ -25,6 +25,7 @@ pub struct ProbabilityEvaluator<'a> {
     valuation: &'a ProbabilityValuation,
     decomposition: Option<TreeDecomposition>,
     backend: LineageBackend,
+    engine_config: treelineage_engine::EngineConfig,
 }
 
 impl<'a> ProbabilityEvaluator<'a> {
@@ -41,6 +42,7 @@ impl<'a> ProbabilityEvaluator<'a> {
             valuation,
             decomposition: None,
             backend: LineageBackend::default(),
+            engine_config: treelineage_engine::EngineConfig::default(),
         }
     }
 
@@ -63,6 +65,21 @@ impl<'a> ProbabilityEvaluator<'a> {
     /// The backend the evaluator routes through.
     pub fn backend(&self) -> LineageBackend {
         self.backend
+    }
+
+    /// Routes the automaton backend through the parallel engine with the
+    /// given configuration (thread count for subtree-parallel compile and
+    /// evaluation, query-compiler state budget). All answers stay exactly
+    /// equal to the sequential default at every thread count — the engine's
+    /// determinism contract, pinned by `tests/parallel_differential.rs`.
+    pub fn with_engine_config(mut self, config: treelineage_engine::EngineConfig) -> Self {
+        self.engine_config = config;
+        self
+    }
+
+    /// The engine configuration the evaluator routes through.
+    pub fn engine_config(&self) -> treelineage_engine::EngineConfig {
+        self.engine_config
     }
 
     /// The probability that the query holds, computed through the selected
@@ -134,7 +151,8 @@ impl<'a> ProbabilityEvaluator<'a> {
         &'q self,
         query: &'q UnionOfConjunctiveQueries,
     ) -> Result<LineageBuilder<'q>, LineageError> {
-        let mut builder = LineageBuilder::new(query, self.instance)?;
+        let mut builder =
+            LineageBuilder::new(query, self.instance)?.with_engine_config(self.engine_config);
         if let Some(td) = &self.decomposition {
             builder = builder.with_decomposition(td.clone())?;
         }
@@ -188,8 +206,8 @@ impl<'a> ProbabilityEvaluator<'a> {
     pub fn query_wmc(
         &self,
         query: &UnionOfConjunctiveQueries,
-        pos: &dyn Fn(FactId) -> Rational,
-        neg: &dyn Fn(FactId) -> Rational,
+        pos: &(dyn Fn(FactId) -> Rational + Sync),
+        neg: &(dyn Fn(FactId) -> Rational + Sync),
     ) -> Result<Rational, LineageError> {
         let builder = self.builder(query)?;
         match self.backend {

@@ -28,6 +28,23 @@
 //! the Gaifman graph, which [`TreeDecomposition::validate`] permits to be
 //! uncovered) are wrapped around the root as introduce / facts / forget
 //! chains, so every fact is always encoded.
+//!
+//! ```
+//! use treelineage_encoding::encode;
+//! use treelineage_graph::treewidth::treewidth_upper_bound;
+//! use treelineage_instance::{FactId, Instance, Signature};
+//!
+//! let sig = Signature::builder().relation("E", 2).build();
+//! let mut inst = Instance::new(sig);
+//! inst.add_fact_by_name("E", &[0, 1]);
+//! inst.add_fact_by_name("E", &[1, 2]);
+//! let (graph, _) = inst.gaifman_graph();
+//! let encoding = encode(&inst, &treewidth_upper_bound(&graph).1).unwrap();
+//! // One Boolean event per fact (the fact's id)...
+//! assert_eq!(encoding.tree().events(), vec![0, 1]);
+//! // ...and instantiating a world decodes to exactly that subinstance.
+//! assert_eq!(encoding.decode(&|f| f == FactId(0)).fact_count(), 1);
+//! ```
 
 use crate::alphabet::{AlphabetError, EncodingAlphabet, LabelKind};
 use std::collections::BTreeMap;

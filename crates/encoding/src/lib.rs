@@ -24,7 +24,43 @@
 //! Downstream, `treelineage_core`'s `LineageBackend::Automaton` chains
 //! these with [`treelineage_automata::compile_structured_dnnf`] into the
 //! full pipeline: probability / model counting / weighted model counting
-//! without ever materializing query matches.
+//! without ever materializing query matches (and `treelineage-engine`
+//! compiles the same d-SDNNF over disjoint subtrees on worker threads,
+//! bit-identically). The whole route, end to end — encode the instance,
+//! compile the query, read the lineage off the provenance:
+//!
+//! ```
+//! use treelineage_automata::compile_structured_dnnf;
+//! use treelineage_encoding::{compile_ucq, encode, CompileOptions};
+//! use treelineage_graph::treewidth::treewidth_upper_bound;
+//! use treelineage_instance::{Instance, Signature};
+//! use treelineage_num::Rational;
+//! use treelineage_query::parse_query;
+//!
+//! // The chain instance R(0), S(0, 1), T(1), tree-encoded along a
+//! // heuristic decomposition of its Gaifman graph.
+//! let sig = Signature::builder()
+//!     .relation("R", 1).relation("S", 2).relation("T", 1).build();
+//! let mut inst = Instance::new(sig.clone());
+//! inst.add_fact_by_name("R", &[0]);
+//! inst.add_fact_by_name("S", &[0, 1]);
+//! inst.add_fact_by_name("T", &[1]);
+//! let (graph, _) = inst.gaifman_graph();
+//! let encoding = encode(&inst, &treewidth_upper_bound(&graph).1).unwrap();
+//!
+//! // Compile the query over the alphabet, materialize the automaton for
+//! // this tree, and read the lineage off its provenance d-SDNNF.
+//! let query = parse_query(&sig, "R(x), S(x, y), T(y)").unwrap();
+//! let mut compiled = compile_ucq(&query, encoding.alphabet(), CompileOptions::default()).unwrap();
+//! let automaton = compiled.automaton_for(encoding.tree()).unwrap();
+//! let lineage = compile_structured_dnnf(&automaton, encoding.tree()).unwrap();
+//!
+//! // All three facts must be present: probability 1/8 under all-1/2.
+//! assert_eq!(
+//!     lineage.probability(&|_| Rational::one_half()),
+//!     Rational::from_ratio_u64(1, 8),
+//! );
+//! ```
 //!
 //! [`MsoFormula`]: treelineage_query::MsoFormula
 

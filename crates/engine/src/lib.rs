@@ -1,0 +1,131 @@
+//! Parallel + batched serving layer over the `treelineage` lineage
+//! pipeline.
+//!
+//! The paper's bottom-up constructions (the automaton run and the
+//! Theorem 6.11 d-SDNNF gate construction) are embarrassingly parallel over
+//! disjoint subtrees; a serving system additionally sees *many* requests
+//! that share compile work (same query, same instance, different weights).
+//! This crate provides both layers, using only `std::thread` per the
+//! workspace's no-external-deps rule:
+//!
+//! * [`compile_structured_dnnf_parallel`] / [`parallel_reachable_states`] —
+//!   a work-stealing subtree scheduler that compiles fragments on worker
+//!   threads and merges them deterministically, with output **bit-identical**
+//!   to the sequential path at every thread count (see `parallel`'s module
+//!   docs for the contract); [`ParallelDnnf`] carries the fragment
+//!   partition so probability / WMC / model-counting passes parallelize the
+//!   same way.
+//! * [`EvalSession`] — a long-lived session holding the persistent compiled
+//!   query machines, per-instance tree encodings, and a sharded
+//!   [`treelineage_dd::Manager`] pool, exposing
+//!   [`EvalSession::batch_probability`] / [`EvalSession::batch_wmc`] /
+//!   [`EvalSession::batch_model_count`] that evaluate many (query,
+//!   instance, weights) requests concurrently and deduplicate shared
+//!   compile work.
+//! * [`EngineConfig`] — the knob set (`threads`, `state_budget`, cache
+//!   caps) that `treelineage-core`'s `ProbabilityEvaluator` and the bench
+//!   harness route through, so every existing entry point can opt into
+//!   parallelism without API changes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod parallel;
+mod pool;
+mod session;
+
+pub use parallel::{
+    compile_structured_dnnf_parallel, parallel_reachable_states, CircuitPartition, ParallelDnnf,
+};
+pub use session::{
+    EngineError, EvalSession, InstanceId, ProbabilityRequest, QueryId, SessionBackend,
+    SessionStats, WmcRequest,
+};
+
+use treelineage_dd::order::order_by_first_covering_bag;
+use treelineage_graph::TreeDecomposition;
+use treelineage_instance::Instance;
+
+/// Configuration of the parallel engine: thread count, the query compiler's
+/// state budget, and the [`EvalSession`] cache caps. The default is fully
+/// sequential with the compiler's default budget — existing entry points
+/// behave exactly as before until they opt in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads for subtree compilation and batched evaluation.
+    /// `1` (the default) means everything runs on the caller's thread.
+    pub threads: usize,
+    /// State budget handed to the query→automaton compiler
+    /// ([`treelineage_encoding::CompileOptions::state_budget`]).
+    pub state_budget: usize,
+    /// Fragment grain for the subtree scheduler: subtrees of at most this
+    /// many nodes become one task. `0` (the default) picks
+    /// `node_count / (threads * 4)` with a lower bound that keeps
+    /// scheduling overhead negligible; tests use small explicit grains to
+    /// exercise the merge on small trees.
+    pub fragment_grain: usize,
+    /// Maximum number of compiled query machines an [`EvalSession`] keeps
+    /// (per (query, alphabet width); oldest evicted first).
+    pub query_cache_cap: usize,
+    /// Maximum number of compiled lineages an [`EvalSession`] keeps (per
+    /// (query, instance); oldest evicted first).
+    pub lineage_cache_cap: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            threads: 1,
+            state_budget: treelineage_encoding::DEFAULT_STATE_BUDGET,
+            fragment_grain: 0,
+            query_cache_cap: 64,
+            lineage_cache_cap: 256,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The default configuration at the given thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        EngineConfig {
+            threads,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// The default configuration with one thread per available core
+    /// (`std::thread::available_parallelism`, 1 if unknown).
+    pub fn parallel() -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        EngineConfig::with_threads(threads)
+    }
+}
+
+/// Derives the fact (variable) order from a tree decomposition of the
+/// instance's Gaifman graph: the \[35\]-style depth-first bag layout with
+/// every fact placed at its first covering bag (the layout itself lives in
+/// [`treelineage_dd::order`]). This is the order every match-based backend
+/// compiles under; `treelineage-core` re-exports it, and [`EvalSession`]'s
+/// shared-diagram shards use it to seed their managers.
+pub fn variable_order_from_decomposition(
+    instance: &Instance,
+    td: &TreeDecomposition,
+) -> Vec<usize> {
+    use std::collections::{BTreeMap, BTreeSet};
+    let domain: Vec<_> = instance.domain().into_iter().collect();
+    let element_to_vertex: BTreeMap<_, usize> =
+        domain.iter().enumerate().map(|(i, &e)| (e, i)).collect();
+    if td.bag_count() == 0 {
+        return instance.fact_ids().map(|f| f.0).collect();
+    }
+    let items: Vec<BTreeSet<usize>> = instance
+        .facts()
+        .map(|(_, fact)| {
+            fact.elements()
+                .into_iter()
+                .map(|e| element_to_vertex[&e])
+                .collect()
+        })
+        .collect();
+    order_by_first_covering_bag(td, &items)
+}

@@ -1,0 +1,1076 @@
+//! Parallel bottom-up subtree compilation with a **bit-identical** output
+//! contract.
+//!
+//! Every bottom-up pass of the lineage pipeline — the automaton run, the
+//! Theorem 6.11 d-SDNNF gate construction, and the evaluation passes over
+//! the resulting circuit — has the same shape: disjoint subtrees are
+//! independent, and only the "spine" of nodes above the chosen cut points
+//! sequentializes. This module exploits that:
+//!
+//! 1. [`SubtreePlan`] cuts the tree into fragments of comparable size (one
+//!    contiguous post-order segment each) plus the spine above them;
+//! 2. worker threads compile fragments independently (scheduled by the
+//!    work-stealing pool in `pool`);
+//! 3. a deterministic merge replays each fragment into the global arenas
+//!    **in global post-order**, then runs the spine sequentially.
+//!
+//! The determinism contract: because `Circuit` and `Vtree` are append-only
+//! arenas and a subtree's nodes occupy a contiguous post-order segment, the
+//! sequential construction allocates a fragment's gates as one contiguous id
+//! block that references only the block itself plus the two constant gates.
+//! Replaying fragments in post-order therefore reproduces the sequential
+//! gate stream *byte for byte* — same gates, same ids, same operand order,
+//! same output — at every thread count, with no iteration-order leakage
+//! (worker completion order never influences ids; only the tree shape
+//! does). `tests` and the umbrella `tests/parallel_differential.rs` pin
+//! this gate-by-gate against [`treelineage_automata::compile_structured_dnnf`].
+//!
+//! The evaluation passes ([`ParallelDnnf::probability`] /
+//! [`ParallelDnnf::wmc`] / [`ParallelDnnf::model_count`]) reuse the same
+//! partition: each fragment's gate range is self-contained, so workers
+//! evaluate ranges concurrently and the spine finishes on the caller's
+//! thread. All arithmetic is exact (`Rational` / `BigUint`), so the values
+//! are identical to the sequential pass, not merely close.
+
+use crate::pool::run_tasks;
+use crate::EngineConfig;
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use treelineage_automata::{
+    compile_structured_dnnf, BinaryTree, NodeAnnotation, NodeId, State, StructuredDnnf,
+    StructuredDnnfError, TreeAutomaton, UncertainTree,
+};
+use treelineage_circuit::{Circuit, Dnnf, Gate, GateId, VarId, Vtree, VtreeId, VtreeNode};
+use treelineage_num::{BigUint, Rational};
+
+/// Fragments below this size are not worth a task of their own: the replay
+/// and scheduling overhead would exceed the construction work.
+const MIN_FRAGMENT_NODES: usize = 64;
+
+/// A partition of the tree into disjoint subtrees ("fragments") plus the
+/// spine of nodes above all cut points. Fragment roots are the cut points;
+/// every node belongs to exactly one fragment or to the spine.
+#[derive(Clone, Debug)]
+pub(crate) struct SubtreePlan {
+    /// Cut points (fragment roots), each owning its whole subtree.
+    pub(crate) cuts: Vec<NodeId>,
+    /// `owner[node] = Some(i)` if the node lies in fragment `i` (including
+    /// its root), `None` for spine nodes.
+    pub(crate) owner: Vec<Option<u32>>,
+}
+
+impl SubtreePlan {
+    /// Cuts `tree` into at least two fragments of roughly
+    /// `node_count / (threads * 4)` nodes each (never below
+    /// [`MIN_FRAGMENT_NODES`]; `grain_override > 0` fixes the grain
+    /// explicitly), or returns `None` when the tree is too small to be
+    /// worth splitting. The plan depends only on the tree shape and the
+    /// grain — never on scheduling — so the merge order is deterministic.
+    pub(crate) fn cut(
+        tree: &BinaryTree,
+        threads: usize,
+        grain_override: usize,
+    ) -> Option<SubtreePlan> {
+        let n = tree.node_count();
+        if threads <= 1 {
+            return None;
+        }
+        let grain = if grain_override > 0 {
+            grain_override
+        } else if n < 2 * MIN_FRAGMENT_NODES {
+            return None;
+        } else {
+            // 4 fragments per worker gives the work-stealing pool enough
+            // slack to balance subtrees of unequal size.
+            (n / (threads * 4)).max(MIN_FRAGMENT_NODES)
+        };
+        let mut sizes = vec![0usize; n];
+        for node in tree.post_order() {
+            sizes[node.0] = match tree.children(node) {
+                None => 1,
+                Some((l, r)) => 1 + sizes[l.0] + sizes[r.0],
+            };
+        }
+        let mut cuts = Vec::new();
+        let mut owner: Vec<Option<u32>> = vec![None; n];
+        let mut stack = vec![tree.root()];
+        while let Some(node) = stack.pop() {
+            if sizes[node.0] <= grain {
+                let index = cuts.len() as u32;
+                cuts.push(node);
+                for member in tree.post_order_from(node) {
+                    owner[member.0] = Some(index);
+                }
+            } else {
+                // A node larger than the grain has children (leaves have
+                // size 1 ≤ grain); it stays on the spine.
+                let (l, r) = tree.children(node).expect("grain ≥ 1 keeps leaves cut");
+                stack.push(r);
+                stack.push(l);
+            }
+        }
+        if cuts.len() < 2 {
+            return None;
+        }
+        Some(SubtreePlan { cuts, owner })
+    }
+}
+
+/// The fragment ranges of a circuit produced by the parallel compiler: each
+/// `[start, end)` gate-id range is *self-contained* — gates in the range
+/// reference only the range itself plus the two global constant gates — so
+/// evaluation passes can process ranges on independent threads.
+#[derive(Clone, Debug, Default)]
+pub struct CircuitPartition {
+    fragments: Vec<(usize, usize)>,
+}
+
+impl CircuitPartition {
+    /// The self-contained `[start, end)` gate ranges.
+    pub fn fragments(&self) -> &[(usize, usize)] {
+        &self.fragments
+    }
+
+    /// `true` when the partition carries no parallelizable range (the
+    /// circuit was compiled sequentially); evaluation then runs in one
+    /// pass on the caller's thread.
+    pub fn is_empty(&self) -> bool {
+        self.fragments.is_empty()
+    }
+}
+
+/// A certified smooth d-SDNNF plus the fragment partition of its circuit:
+/// the artifact of [`compile_structured_dnnf_parallel`]. Dereference to the
+/// wrapped [`StructuredDnnf`] for the circuit/vtree accessors; the
+/// evaluation methods here take a thread count and run the bottom-up pass
+/// fragment-parallel (exact arithmetic, so results equal the sequential
+/// pass at every thread count).
+#[derive(Clone, Debug)]
+pub struct ParallelDnnf {
+    structured: StructuredDnnf,
+    partition: CircuitPartition,
+}
+
+impl ParallelDnnf {
+    /// Wraps a sequentially compiled artifact (empty partition: every
+    /// evaluation runs sequentially).
+    pub fn sequential(structured: StructuredDnnf) -> Self {
+        ParallelDnnf {
+            structured,
+            partition: CircuitPartition::default(),
+        }
+    }
+
+    /// The wrapped certified d-SDNNF.
+    pub fn structured(&self) -> &StructuredDnnf {
+        &self.structured
+    }
+
+    /// The fragment partition of the circuit.
+    pub fn partition(&self) -> &CircuitPartition {
+        &self.partition
+    }
+
+    /// Number of gates of the circuit.
+    pub fn size(&self) -> usize {
+        self.structured.size()
+    }
+
+    /// Acceptance probability under independent event probabilities;
+    /// fragment-parallel over `threads` workers.
+    pub fn probability(
+        &self,
+        prob: &(dyn Fn(usize) -> Rational + Sync),
+        threads: usize,
+    ) -> Rational {
+        run_pass(
+            self.structured.dnnf().circuit(),
+            &self.partition,
+            threads,
+            &ProbabilityPass { prob },
+        )
+    }
+
+    /// Weighted model count with general per-literal weights (the circuit
+    /// is smooth by construction, so one pass suffices); fragment-parallel.
+    pub fn wmc(
+        &self,
+        pos: &(dyn Fn(usize) -> Rational + Sync),
+        neg: &(dyn Fn(usize) -> Rational + Sync),
+        threads: usize,
+    ) -> Rational {
+        run_pass(
+            self.structured.dnnf().circuit(),
+            &self.partition,
+            threads,
+            &WmcPass { pos, neg },
+        )
+    }
+
+    /// Number of accepting event valuations (one integer pass thanks to
+    /// smoothness-by-construction); fragment-parallel.
+    pub fn model_count(&self, threads: usize) -> BigUint {
+        run_pass(
+            self.structured.dnnf().circuit(),
+            &self.partition,
+            threads,
+            &CountPass,
+        )
+    }
+}
+
+/// A compiled fragment: the gates and vtree nodes the sequential
+/// construction would allocate for this subtree, with local ids (constants
+/// at 0/1, everything else offset by 2 at replay time).
+struct Fragment {
+    circuit: Circuit,
+    vtree: Vtree,
+    /// Per automaton state, the (local) gate of the fragment root.
+    root_gates: Vec<GateId>,
+    /// The (local) vtree node covering the fragment root's events, if any.
+    root_vnode: Option<VtreeId>,
+}
+
+/// Compiles the provenance of a deterministic automaton on an uncertain
+/// tree into a certified smooth d-SDNNF, splitting the tree into disjoint
+/// subtrees compiled on `config.threads` worker threads. The output is
+/// byte-identical to [`treelineage_automata::compile_structured_dnnf`] at
+/// every thread count (see the module docs for why); with `threads <= 1` or
+/// a small tree it simply delegates to the sequential compiler.
+pub fn compile_structured_dnnf_parallel(
+    automaton: &TreeAutomaton,
+    tree: &UncertainTree,
+    config: &EngineConfig,
+) -> Result<ParallelDnnf, StructuredDnnfError> {
+    compile_with_pool(automaton, tree, config, config.threads)
+}
+
+/// [`compile_structured_dnnf_parallel`] with the fragment *plan*
+/// (`config.threads`) decoupled from the worker pool actually used
+/// (`pool_threads`). The session layer compiles with `pool_threads = 1`
+/// when a batch already saturates the pool with one task per (query,
+/// instance) pair — the cached artifact still carries the partition its
+/// session-level thread count plans for, so later lone-request batches get
+/// fragment-parallel evaluation. The output is identical either way: the
+/// plan, not the pool, determines every id.
+pub(crate) fn compile_with_pool(
+    automaton: &TreeAutomaton,
+    tree: &UncertainTree,
+    config: &EngineConfig,
+    pool_threads: usize,
+) -> Result<ParallelDnnf, StructuredDnnfError> {
+    let plan = match SubtreePlan::cut(tree.tree(), config.threads, config.fragment_grain) {
+        Some(plan) => plan,
+        None => return compile_structured_dnnf(automaton, tree).map(ParallelDnnf::sequential),
+    };
+    // Same validation, in the same order, as the sequential compiler: the
+    // parallel path must fail on exactly the inputs (and with exactly the
+    // errors) the sequential path fails on.
+    if !automaton.is_deterministic() {
+        return Err(StructuredDnnfError::NondeterministicAutomaton);
+    }
+    let mut seen_events: BTreeMap<usize, usize> = BTreeMap::new();
+    for node in 0..tree.tree().node_count() {
+        if let NodeAnnotation::Event { event, .. } = tree.annotation(NodeId(node)) {
+            *seen_events.entry(event).or_insert(0) += 1;
+        }
+    }
+    if let Some((&event, _)) = seen_events.iter().find(|(_, &count)| count > 1) {
+        return Err(StructuredDnnfError::SharedEvent { event });
+    }
+
+    let states = automaton.state_count();
+
+    // Phase 1: fragments, in parallel. Results land in cut order, so
+    // nothing downstream depends on completion order.
+    let fragments: Vec<Fragment> = run_tasks(pool_threads, plan.cuts.len(), |i| {
+        compile_fragment(automaton, tree, plan.cuts[i], states)
+    });
+
+    // Phase 2: deterministic merge — walk the global post-order, replay
+    // each fragment at its root's position, run spine nodes inline.
+    let mut circuit = Circuit::new();
+    let false_gate = circuit.constant(false);
+    // The true constant must exist at id 1 (the helper and the fragment
+    // replay both rely on the 0/1 constant convention).
+    let _true_gate = circuit.constant(true);
+    let mut vtree = Vtree::new();
+    let mut partition = CircuitPartition::default();
+    // Gate vector / vtree node per *pending* node (fragment roots and spine
+    // nodes whose parent has not been processed yet).
+    let mut gates: HashMap<usize, Vec<GateId>> = HashMap::new();
+    let mut vnodes: HashMap<usize, Option<VtreeId>> = HashMap::new();
+
+    for node in tree.tree().post_order() {
+        match plan.owner[node.0] {
+            Some(fragment_index) => {
+                if plan.cuts[fragment_index as usize] != node {
+                    continue; // interior fragment node: already compiled by its worker
+                }
+                let fragment = &fragments[fragment_index as usize];
+                let gate_offset = circuit.size();
+                replay_circuit(&mut circuit, &fragment.circuit);
+                partition.fragments.push((gate_offset, circuit.size()));
+                let vtree_offset = vtree.node_count();
+                replay_vtree(&mut vtree, &fragment.vtree);
+                let map = |g: GateId| {
+                    if g.0 < 2 {
+                        GateId(g.0) // the two constants are global
+                    } else {
+                        GateId(gate_offset + g.0 - 2)
+                    }
+                };
+                gates.insert(
+                    node.0,
+                    fragment.root_gates.iter().map(|&g| map(g)).collect(),
+                );
+                vnodes.insert(
+                    node.0,
+                    fragment.root_vnode.map(|v| VtreeId(vtree_offset + v.0)),
+                );
+            }
+            None => {
+                // Spine node: both children are pending (fragment roots or
+                // spine nodes), so take their entries and run the
+                // sequential per-node construction.
+                let (left, right) = tree
+                    .tree()
+                    .children(node)
+                    .expect("spine nodes are larger than any fragment, hence internal");
+                let left_gates = gates.remove(&left.0).expect("post-order: child first");
+                let right_gates = gates.remove(&right.0).expect("post-order: child first");
+                let left_v = vnodes.remove(&left.0).expect("post-order: child first");
+                let right_v = vnodes.remove(&right.0).expect("post-order: child first");
+                let (node_gates, own_v) = internal_node_step(
+                    automaton,
+                    tree,
+                    node,
+                    states,
+                    &left_gates,
+                    &right_gates,
+                    left_v,
+                    right_v,
+                    &mut circuit,
+                    &mut vtree,
+                );
+                gates.insert(node.0, node_gates);
+                vnodes.insert(node.0, own_v);
+            }
+        }
+    }
+
+    let root = tree.tree().root();
+    let root_gates = &gates[&root.0];
+    let accepting: Vec<GateId> = automaton
+        .accepting_states()
+        .iter()
+        .map(|&q| root_gates[q])
+        .filter(|&g| g != false_gate)
+        .collect();
+    let output = match accepting.len() {
+        0 => false_gate,
+        1 => accepting[0],
+        _ => circuit.or(accepting),
+    };
+    circuit.set_output(output);
+    if let Some(v) = vnodes[&root.0] {
+        vtree.set_root(v);
+    }
+    let dnnf = Dnnf::from_trusted_circuit(circuit)
+        .expect("the structured construction is decomposable by construction");
+    Ok(ParallelDnnf {
+        structured: StructuredDnnf::from_trusted_parts(dnnf, vtree, tree.events()),
+        partition,
+    })
+}
+
+/// Compiles one subtree exactly as the sequential compiler would: same
+/// per-node logic, same allocation order, over the subtree's post-order.
+/// Constants occupy local gate ids 0 (false) and 1 (true) and are the only
+/// out-of-block references a fragment may make.
+fn compile_fragment(
+    automaton: &TreeAutomaton,
+    tree: &UncertainTree,
+    root: NodeId,
+    states: usize,
+) -> Fragment {
+    let mut circuit = Circuit::new();
+    let false_gate = circuit.constant(false);
+    let true_gate = circuit.constant(true);
+    let mut vtree = Vtree::new();
+    let mut gates: HashMap<usize, Vec<GateId>> = HashMap::new();
+    let mut vnodes: HashMap<usize, Option<VtreeId>> = HashMap::new();
+
+    for node in tree.tree().post_order_from(root) {
+        let own_event = match tree.annotation(node) {
+            NodeAnnotation::Fixed => None,
+            NodeAnnotation::Event { event, .. } => Some(event),
+        };
+        match tree.tree().children(node) {
+            None => {
+                let mut node_gates = vec![false_gate; states];
+                for (q, gate) in node_gates.iter_mut().enumerate() {
+                    *gate = match tree.annotation(node) {
+                        NodeAnnotation::Fixed => {
+                            if automaton.leaf_states(tree.tree().label(node)).contains(&q) {
+                                true_gate
+                            } else {
+                                false_gate
+                            }
+                        }
+                        NodeAnnotation::Event {
+                            event,
+                            if_true,
+                            if_false,
+                        } => {
+                            let in_true = automaton.leaf_states(if_true).contains(&q);
+                            let in_false = automaton.leaf_states(if_false).contains(&q);
+                            match (in_true, in_false) {
+                                (true, true) => {
+                                    let v = circuit.var(event);
+                                    let nv = circuit.not(v);
+                                    circuit.or(vec![v, nv])
+                                }
+                                (false, false) => false_gate,
+                                (true, false) => circuit.var(event),
+                                (false, true) => {
+                                    let v = circuit.var(event);
+                                    circuit.not(v)
+                                }
+                            }
+                        }
+                    };
+                }
+                gates.insert(node.0, node_gates);
+                vnodes.insert(node.0, own_event.map(|e| vtree.leaf(e)));
+            }
+            Some((left, right)) => {
+                let left_gates = gates.remove(&left.0).expect("post-order: child first");
+                let right_gates = gates.remove(&right.0).expect("post-order: child first");
+                let left_v = vnodes.remove(&left.0).expect("post-order: child first");
+                let right_v = vnodes.remove(&right.0).expect("post-order: child first");
+                let (node_gates, own_v) = internal_node_step(
+                    automaton,
+                    tree,
+                    node,
+                    states,
+                    &left_gates,
+                    &right_gates,
+                    left_v,
+                    right_v,
+                    &mut circuit,
+                    &mut vtree,
+                );
+                gates.insert(node.0, node_gates);
+                vnodes.insert(node.0, own_v);
+            }
+        }
+    }
+    Fragment {
+        root_gates: gates.remove(&root.0).expect("root was processed last"),
+        root_vnode: vnodes.remove(&root.0).expect("root was processed last"),
+        circuit,
+        vtree,
+    }
+}
+
+/// The sequential compiler's *internal-node* step against the given arenas
+/// (which must hold the constants at ids 0 = false and 1 = true, as both
+/// the merged circuit and every fragment do): builds the per-state gates
+/// of `node` from its children's gate vectors and combines the children's
+/// vtree scopes with the node's own event. One definition shared by the
+/// fragment workers and the merge spine, so the two can never drift apart
+/// — a change here changes both, and the differential suites pin the pair
+/// against [`compile_structured_dnnf`] itself.
+#[allow(clippy::too_many_arguments)] // mirrors the sequential compiler's full per-node state
+fn internal_node_step(
+    automaton: &TreeAutomaton,
+    tree: &UncertainTree,
+    node: NodeId,
+    states: usize,
+    left_gates: &[GateId],
+    right_gates: &[GateId],
+    left_v: Option<VtreeId>,
+    right_v: Option<VtreeId>,
+    circuit: &mut Circuit,
+    vtree: &mut Vtree,
+) -> (Vec<GateId>, Option<VtreeId>) {
+    let false_gate = GateId(0);
+    let true_gate = GateId(1);
+    debug_assert_eq!(circuit.gate(false_gate), &Gate::Const(false));
+    debug_assert_eq!(circuit.gate(true_gate), &Gate::Const(true));
+    let conjoin =
+        |parts: Vec<GateId>, circuit: &mut Circuit, true_gate: GateId| -> Option<GateId> {
+            let real: Vec<GateId> = parts.into_iter().filter(|&g| g != true_gate).collect();
+            match real.len() {
+                0 => None,
+                1 => Some(real[0]),
+                _ => Some(circuit.and(real)),
+            }
+        };
+    let (own_event, alternatives): (Option<usize>, Vec<(usize, Option<GateId>)>) =
+        match tree.annotation(node) {
+            NodeAnnotation::Fixed => (None, vec![(tree.tree().label(node), None)]),
+            NodeAnnotation::Event {
+                event,
+                if_true,
+                if_false,
+            } => {
+                let v = circuit.var(event);
+                let not_v = circuit.not(v);
+                (
+                    Some(event),
+                    vec![(if_true, Some(v)), (if_false, Some(not_v))],
+                )
+            }
+        };
+    let live_left: Vec<usize> = (0..states)
+        .filter(|&q| left_gates[q] != false_gate)
+        .collect();
+    let live_right: Vec<usize> = (0..states)
+        .filter(|&q| right_gates[q] != false_gate)
+        .collect();
+    let mut disjuncts: Vec<Vec<GateId>> = vec![Vec::new(); states];
+    for &(label, guard) in &alternatives {
+        for &ql in &live_left {
+            for &qr in &live_right {
+                for &q in &automaton.internal_states(label, ql, qr) {
+                    let gl = left_gates[ql];
+                    let gr = right_gates[qr];
+                    let inner = conjoin(vec![gl, gr], circuit, true_gate);
+                    let conj = match (guard, inner) {
+                        (None, None) => true_gate,
+                        (None, Some(g)) => g,
+                        (Some(gv), None) => gv,
+                        (Some(gv), Some(g)) => circuit.and(vec![gv, g]),
+                    };
+                    disjuncts[q].push(conj);
+                }
+            }
+        }
+    }
+    let mut node_gates = vec![false_gate; states];
+    for (q, disjuncts) in disjuncts.into_iter().enumerate() {
+        node_gates[q] = match disjuncts.len() {
+            0 => false_gate,
+            1 => disjuncts[0],
+            _ => circuit.or(disjuncts),
+        };
+    }
+    let children_v = match (left_v, right_v) {
+        (None, None) => None,
+        (Some(l), None) => Some(l),
+        (None, Some(r)) => Some(r),
+        (Some(l), Some(r)) => Some(vtree.internal(l, r)),
+    };
+    let own_v = match (own_event, children_v) {
+        (None, v) => v,
+        (Some(e), None) => Some(vtree.leaf(e)),
+        (Some(e), Some(v)) => {
+            let leaf = vtree.leaf(e);
+            Some(vtree.internal(leaf, v))
+        }
+    };
+    (node_gates, own_v)
+}
+
+/// Replays a fragment's gates (skipping its two local constants) into the
+/// global circuit. Allocation order is preserved, so the fragment's gate
+/// `i ≥ 2` lands at global id `offset + i - 2` — exactly where the
+/// sequential construction would have put it.
+fn replay_circuit(global: &mut Circuit, fragment: &Circuit) {
+    let offset = global.size();
+    let map = |g: GateId| {
+        if g.0 < 2 {
+            GateId(g.0)
+        } else {
+            GateId(offset + g.0 - 2)
+        }
+    };
+    for id in 2..fragment.size() {
+        let new_id = match fragment.gate(GateId(id)) {
+            // Fragment events are globally unique, so `var` always
+            // allocates (the memo can never hit across fragments).
+            Gate::Var(v) => global.var(*v),
+            Gate::Const(_) => unreachable!("fragments hold constants only at ids 0 and 1"),
+            Gate::Not(i) => global.not(map(*i)),
+            Gate::And(inputs) => {
+                let mapped: Vec<GateId> = inputs.iter().map(|&i| map(i)).collect();
+                global.and(mapped)
+            }
+            Gate::Or(inputs) => {
+                let mapped: Vec<GateId> = inputs.iter().map(|&i| map(i)).collect();
+                global.or(mapped)
+            }
+        };
+        debug_assert_eq!(new_id, map(GateId(id)));
+    }
+}
+
+/// Replays a fragment's vtree nodes into the global vtree (append-only, so
+/// local node `i` lands at global id `offset + i`; leaf spans stay adjacent
+/// because leaves are appended in the same order).
+fn replay_vtree(global: &mut Vtree, fragment: &Vtree) {
+    let offset = global.node_count();
+    for i in 0..fragment.node_count() {
+        match fragment.node(VtreeId(i)) {
+            VtreeNode::Leaf(v) => global.leaf(v),
+            VtreeNode::Internal(l, r) => {
+                global.internal(VtreeId(offset + l.0), VtreeId(offset + r.0))
+            }
+        };
+    }
+}
+
+/// The automaton run itself, fragment-parallel: the states reachable at
+/// every node of the tree, equal (as sets) to
+/// [`TreeAutomaton::reachable_states`] at every thread count.
+pub fn parallel_reachable_states(
+    automaton: &TreeAutomaton,
+    tree: &BinaryTree,
+    threads: usize,
+) -> Vec<std::collections::BTreeSet<State>> {
+    use std::collections::BTreeSet;
+    let plan = match SubtreePlan::cut(tree, threads, 0) {
+        Some(plan) => plan,
+        None => return automaton.reachable_states(tree),
+    };
+    let run_subtree = |root: NodeId| -> Vec<(usize, BTreeSet<State>)> {
+        let order = tree.post_order_from(root);
+        let mut local: HashMap<usize, BTreeSet<State>> = HashMap::with_capacity(order.len());
+        for node in order.iter().copied() {
+            let label = tree.label(node);
+            let states = match tree.children(node) {
+                None => automaton.leaf_states(label).clone(),
+                Some((l, r)) => {
+                    let mut out = BTreeSet::new();
+                    for &ls in &local[&l.0] {
+                        for &rs in &local[&r.0] {
+                            out.extend(automaton.internal_states(label, ls, rs));
+                        }
+                    }
+                    out
+                }
+            };
+            local.insert(node.0, states);
+        }
+        order
+            .into_iter()
+            .map(|n| (n.0, local.remove(&n.0).unwrap()))
+            .collect()
+    };
+    let fragments = run_tasks(threads, plan.cuts.len(), |i| run_subtree(plan.cuts[i]));
+    let mut states: Vec<BTreeSet<State>> = vec![BTreeSet::new(); tree.node_count()];
+    for fragment in fragments {
+        for (node, set) in fragment {
+            states[node] = set;
+        }
+    }
+    for node in tree.post_order() {
+        if plan.owner[node.0].is_some() {
+            continue;
+        }
+        let label = tree.label(node);
+        let (l, r) = tree
+            .children(node)
+            .expect("spine nodes are larger than any fragment, hence internal");
+        let mut out = BTreeSet::new();
+        for &ls in &states[l.0] {
+            for &rs in &states[r.0] {
+                out.extend(automaton.internal_states(label, ls, rs));
+            }
+        }
+        states[node.0] = out;
+    }
+    states
+}
+
+// ---------------------------------------------------------------------------
+// Fragment-parallel evaluation passes
+// ---------------------------------------------------------------------------
+
+/// One bottom-up evaluation semantics over d-SDNNF gates; implementors
+/// mirror the corresponding `Dnnf` pass exactly (same per-gate operations,
+/// and exact arithmetic makes grouping irrelevant), so the parallel result
+/// equals the sequential one.
+trait GatePass: Sync {
+    type Value: Clone + Send;
+    fn constant(&self, value: bool) -> Self::Value;
+    fn var(&self, v: VarId) -> Self::Value;
+    /// Value of `Not(inner)` given the inner gate and its value.
+    fn not(&self, circuit: &Circuit, inner: GateId, inner_value: &Self::Value) -> Self::Value;
+    fn one(&self) -> Self::Value;
+    fn zero(&self) -> Self::Value;
+    fn mul_assign(&self, acc: &mut Self::Value, x: &Self::Value);
+    fn add_assign(&self, acc: &mut Self::Value, x: &Self::Value);
+}
+
+struct ProbabilityPass<'a> {
+    prob: &'a (dyn Fn(VarId) -> Rational + Sync),
+}
+
+impl GatePass for ProbabilityPass<'_> {
+    type Value = Rational;
+    fn constant(&self, value: bool) -> Rational {
+        if value {
+            Rational::one()
+        } else {
+            Rational::zero()
+        }
+    }
+    fn var(&self, v: VarId) -> Rational {
+        (self.prob)(v)
+    }
+    fn not(&self, _circuit: &Circuit, _inner: GateId, inner_value: &Rational) -> Rational {
+        inner_value.complement()
+    }
+    fn one(&self) -> Rational {
+        Rational::one()
+    }
+    fn zero(&self) -> Rational {
+        Rational::zero()
+    }
+    fn mul_assign(&self, acc: &mut Rational, x: &Rational) {
+        *acc *= x;
+    }
+    fn add_assign(&self, acc: &mut Rational, x: &Rational) {
+        *acc += x;
+    }
+}
+
+struct WmcPass<'a> {
+    pos: &'a (dyn Fn(VarId) -> Rational + Sync),
+    neg: &'a (dyn Fn(VarId) -> Rational + Sync),
+}
+
+impl GatePass for WmcPass<'_> {
+    type Value = Rational;
+    fn constant(&self, value: bool) -> Rational {
+        if value {
+            Rational::one()
+        } else {
+            Rational::zero()
+        }
+    }
+    fn var(&self, v: VarId) -> Rational {
+        (self.pos)(v)
+    }
+    fn not(&self, circuit: &Circuit, inner: GateId, _inner_value: &Rational) -> Rational {
+        match circuit.gate(inner) {
+            Gate::Var(v) => (self.neg)(*v),
+            Gate::Const(b) => self.constant(!b),
+            _ => unreachable!("d-SDNNFs negate inputs only"),
+        }
+    }
+    fn one(&self) -> Rational {
+        Rational::one()
+    }
+    fn zero(&self) -> Rational {
+        Rational::zero()
+    }
+    fn mul_assign(&self, acc: &mut Rational, x: &Rational) {
+        *acc *= x;
+    }
+    fn add_assign(&self, acc: &mut Rational, x: &Rational) {
+        *acc += x;
+    }
+}
+
+struct CountPass;
+
+impl GatePass for CountPass {
+    type Value = BigUint;
+    fn constant(&self, value: bool) -> BigUint {
+        if value {
+            BigUint::one()
+        } else {
+            BigUint::zero()
+        }
+    }
+    fn var(&self, _v: VarId) -> BigUint {
+        BigUint::one()
+    }
+    fn not(&self, circuit: &Circuit, inner: GateId, _inner_value: &BigUint) -> BigUint {
+        match circuit.gate(inner) {
+            Gate::Var(_) => BigUint::one(),
+            Gate::Const(b) => self.constant(!b),
+            _ => unreachable!("d-SDNNFs negate inputs only"),
+        }
+    }
+    fn one(&self) -> BigUint {
+        BigUint::one()
+    }
+    fn zero(&self) -> BigUint {
+        BigUint::zero()
+    }
+    fn mul_assign(&self, acc: &mut BigUint, x: &BigUint) {
+        *acc = &*acc * x;
+    }
+    fn add_assign(&self, acc: &mut BigUint, x: &BigUint) {
+        *acc = &*acc + x;
+    }
+}
+
+/// Evaluates the circuit bottom-up under `pass`: self-contained fragment
+/// ranges on worker threads first, then one sweep on the caller's thread
+/// for everything outside a fragment (spine gates and, when the partition
+/// is empty, the whole circuit).
+fn run_pass<P: GatePass>(
+    circuit: &Circuit,
+    partition: &CircuitPartition,
+    threads: usize,
+    pass: &P,
+) -> P::Value {
+    let n = circuit.size();
+    let mut values: Vec<Option<P::Value>> = vec![None; n];
+    if threads > 1 && partition.fragments.len() > 1 {
+        let chunks = run_tasks(threads, partition.fragments.len(), |fi| {
+            let (start, end) = partition.fragments[fi];
+            let cfalse = pass.constant(false);
+            let ctrue = pass.constant(true);
+            let mut buf: Vec<P::Value> = Vec::with_capacity(end - start);
+            for id in start..end {
+                let get = |i: GateId| -> &P::Value {
+                    if i.0 >= start {
+                        &buf[i.0 - start]
+                    } else {
+                        match circuit.gate(i) {
+                            Gate::Const(true) => &ctrue,
+                            Gate::Const(false) => &cfalse,
+                            _ => unreachable!("fragment ranges are self-contained"),
+                        }
+                    }
+                };
+                let value = match circuit.gate(GateId(id)) {
+                    Gate::Var(v) => pass.var(*v),
+                    Gate::Const(b) => pass.constant(*b),
+                    Gate::Not(i) => pass.not(circuit, *i, get(*i)),
+                    Gate::And(inputs) => {
+                        let mut acc = pass.one();
+                        for &i in inputs {
+                            pass.mul_assign(&mut acc, get(i));
+                        }
+                        acc
+                    }
+                    Gate::Or(inputs) => {
+                        let mut acc = pass.zero();
+                        for &i in inputs {
+                            pass.add_assign(&mut acc, get(i));
+                        }
+                        acc
+                    }
+                };
+                buf.push(value);
+            }
+            buf
+        });
+        for (fi, chunk) in chunks.into_iter().enumerate() {
+            let (start, _) = partition.fragments[fi];
+            for (offset, value) in chunk.into_iter().enumerate() {
+                values[start + offset] = Some(value);
+            }
+        }
+    }
+    for id in 0..n {
+        if values[id].is_some() {
+            continue;
+        }
+        let value = match circuit.gate(GateId(id)) {
+            Gate::Var(v) => pass.var(*v),
+            Gate::Const(b) => pass.constant(*b),
+            Gate::Not(i) => {
+                let inner = values[i.0].as_ref().expect("ids are topological");
+                pass.not(circuit, *i, inner)
+            }
+            Gate::And(inputs) => {
+                let mut acc = pass.one();
+                for &i in inputs {
+                    pass.mul_assign(&mut acc, values[i.0].as_ref().expect("ids are topological"));
+                }
+                acc
+            }
+            Gate::Or(inputs) => {
+                let mut acc = pass.zero();
+                for &i in inputs {
+                    pass.add_assign(&mut acc, values[i.0].as_ref().expect("ids are topological"));
+                }
+                acc
+            }
+        };
+        values[id] = Some(value);
+    }
+    values[circuit.output().0]
+        .take()
+        .expect("output gate was evaluated")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treelineage_automata::strategies;
+
+    /// Gate-by-gate equality (ids, kinds, operand order, output) plus vtree
+    /// node equality — the byte-identity contract.
+    fn assert_identical(parallel: &ParallelDnnf, sequential: &StructuredDnnf) {
+        let pc = parallel.structured().dnnf().circuit();
+        let sc = sequential.dnnf().circuit();
+        assert_eq!(pc.size(), sc.size());
+        for id in pc.gate_ids() {
+            assert_eq!(pc.gate(id), sc.gate(id), "gate {id:?}");
+        }
+        assert_eq!(pc.output(), sc.output());
+        let pv = parallel.structured().vtree();
+        let sv = sequential.vtree();
+        assert_eq!(pv.node_count(), sv.node_count());
+        for i in 0..pv.node_count() {
+            assert_eq!(pv.node(VtreeId(i)), sv.node(VtreeId(i)), "vtree node {i}");
+        }
+        assert_eq!(pv.root(), sv.root());
+        assert_eq!(parallel.structured().universe(), sequential.universe());
+    }
+
+    /// A deep uncertain comb with every leaf controlled by its own event —
+    /// large enough to be cut into several fragments.
+    fn big_comb(n: usize) -> UncertainTree {
+        let tree = BinaryTree::comb(&vec![0; n], 2);
+        let mut u = UncertainTree::certain(tree);
+        let mut event = 0;
+        for node in 0..u.tree().node_count() {
+            if u.tree().is_leaf(NodeId(node)) {
+                u.set_event(NodeId(node), event, 1, 0);
+                event += 1;
+            }
+        }
+        u
+    }
+
+    #[test]
+    fn plan_covers_every_node_exactly_once() {
+        let tree = BinaryTree::comb(&vec![0; 400], 2);
+        let plan = SubtreePlan::cut(&tree, 4, 0).expect("big tree must split");
+        assert!(plan.cuts.len() >= 2);
+        let mut covered = 0usize;
+        for cut in &plan.cuts {
+            covered += tree.post_order_from(*cut).len();
+        }
+        let spine = plan.owner.iter().filter(|o| o.is_none()).count();
+        assert_eq!(covered + spine, tree.node_count());
+        // Cut roots own themselves; spine nodes own nothing.
+        for (i, cut) in plan.cuts.iter().enumerate() {
+            assert_eq!(plan.owner[cut.0], Some(i as u32));
+        }
+    }
+
+    #[test]
+    fn small_trees_fall_back_to_sequential() {
+        assert!(SubtreePlan::cut(&BinaryTree::comb(&[0, 1, 0], 2), 8, 0).is_none());
+        let u = big_comb(3);
+        let automaton = treelineage_automata::parity_automaton(2);
+        let p = compile_structured_dnnf_parallel(&automaton, &u, &EngineConfig::with_threads(8))
+            .unwrap();
+        assert!(p.partition().is_empty());
+    }
+
+    #[test]
+    fn parallel_compile_is_byte_identical_on_combs() {
+        let automaton = treelineage_automata::parity_automaton(2);
+        for n in [200usize, 333, 1000] {
+            let u = big_comb(n);
+            let sequential = compile_structured_dnnf(&automaton, &u).unwrap();
+            for threads in [2usize, 3, 8] {
+                let config = EngineConfig::with_threads(threads);
+                let parallel = compile_structured_dnnf_parallel(&automaton, &u, &config).unwrap();
+                assert!(!parallel.partition().is_empty(), "n={n} threads={threads}");
+                assert_identical(&parallel, &sequential);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_eval_matches_sequential_exactly() {
+        let automaton = treelineage_automata::parity_automaton(2);
+        let u = big_comb(500);
+        let config = EngineConfig::with_threads(4);
+        let parallel = compile_structured_dnnf_parallel(&automaton, &u, &config).unwrap();
+        let sequential = compile_structured_dnnf(&automaton, &u).unwrap();
+        let prob = |e: usize| Rational::from_ratio_u64(1, e as u64 % 7 + 2);
+        let neg = |e: usize| Rational::from_ratio_u64(1, e as u64 % 5 + 1);
+        for threads in [1usize, 2, 8] {
+            assert_eq!(
+                parallel.probability(&prob, threads),
+                sequential.probability(&prob)
+            );
+            assert_eq!(
+                parallel.wmc(&prob, &neg, threads),
+                sequential.wmc(&prob, &neg)
+            );
+            assert_eq!(parallel.model_count(threads), sequential.model_count());
+        }
+    }
+
+    #[test]
+    fn validation_errors_match_sequential() {
+        let nta = treelineage_automata::exists_one_automaton(2);
+        let u = big_comb(300);
+        let config = EngineConfig::with_threads(4);
+        assert_eq!(
+            compile_structured_dnnf_parallel(&nta, &u, &config).unwrap_err(),
+            StructuredDnnfError::NondeterministicAutomaton
+        );
+        let automaton = treelineage_automata::parity_automaton(2);
+        let mut shared = big_comb(300);
+        // Give two leaves the same event: rejected with the same error.
+        let leaves: Vec<NodeId> = (0..shared.tree().node_count())
+            .map(NodeId)
+            .filter(|&n| shared.tree().is_leaf(n))
+            .collect();
+        shared.set_event(leaves[7], 3, 1, 0);
+        assert_eq!(
+            compile_structured_dnnf_parallel(&automaton, &shared, &config).unwrap_err(),
+            compile_structured_dnnf(&automaton, &shared).unwrap_err()
+        );
+    }
+
+    #[test]
+    fn parallel_reachable_states_matches_sequential() {
+        let automaton = treelineage_automata::exists_one_automaton(2);
+        let u = big_comb(400);
+        let concrete = u.instantiate(&|e| e % 3 == 0);
+        let expected = automaton.reachable_states(&concrete);
+        for threads in [1usize, 2, 8] {
+            assert_eq!(
+                parallel_reachable_states(&automaton, &concrete, threads),
+                expected,
+                "threads={threads}"
+            );
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
+        #[test]
+        fn random_trees_compile_byte_identically(
+            u in strategies::uncertain_tree(64, 3),
+            automaton in strategies::deterministic_automaton(3, 4),
+        ) {
+            // Random trees are small, so pin a tiny fragment grain to force
+            // the cut/merge path that a production-size tree would take.
+            let sequential = match compile_structured_dnnf(&automaton, &u) {
+                Ok(s) => s,
+                Err(_) => return, // shared events: both paths reject (covered above)
+            };
+            for threads in [2usize, 4] {
+                let mut config = EngineConfig::with_threads(threads);
+                config.fragment_grain = 8;
+                let parallel = compile_structured_dnnf_parallel(&automaton, &u, &config).unwrap();
+                assert_identical(&parallel, &sequential);
+                let prob = |e: usize| Rational::from_ratio_u64(1, e as u64 % 3 + 2);
+                assert_eq!(
+                    parallel.probability(&prob, threads),
+                    sequential.probability(&prob)
+                );
+                assert_eq!(parallel.model_count(threads), sequential.model_count());
+            }
+        }
+    }
+}

@@ -1,0 +1,761 @@
+//! Long-lived evaluation sessions: batched requests over cached compile
+//! state.
+//!
+//! A serving system does not see one `query_probability` call — it sees a
+//! stream of (query, instance, weight-vector) requests, most of which share
+//! their expensive prefix: the tree encoding is per instance, the compiled
+//! query machine is per (query, alphabet), and the provenance d-SDNNF is
+//! per (query, instance); only the final linear evaluation pass depends on
+//! the weights. [`EvalSession`] keeps all three layers cached across
+//! batches and evaluates the requests of a batch concurrently on the
+//! engine's work-stealing pool:
+//!
+//! * **per-instance state** — the instance, its (validated) tree
+//!   decomposition, the lazily built [`TreeEncoding`], and — for the
+//!   shared-diagram backend — a lazily seeded [`Manager`] *shard*;
+//! * **per-(query, width) state** — the persistent
+//!   [`CompiledQuery`] machine, whose deterministic-state memo keeps
+//!   growing across instances (its own kind of cache);
+//! * **per-(query, instance) state** — the compiled [`ParallelDnnf`]
+//!   lineage, shared by every request and every batch that names the pair.
+//!
+//! **Why shards instead of one lock.** The dd [`Manager`] is a mutable
+//! hash-consed store: compilation needs `&mut`, and even evaluation takes
+//! the shard lock. One global manager would serialize the whole batch; one
+//! manager *per registered instance* (the natural unit, since a manager is
+//! pinned to its variable order) lets requests for different instances
+//! proceed in parallel and contend only with requests for the same
+//! instance. The automaton backend needs no locking at all after compile —
+//! [`ParallelDnnf`] evaluation is read-only.
+//!
+//! Results are deterministic: caches only memoize deterministic
+//! computations, so a cache hit returns byte-for-byte what a cold compile
+//! would have produced (pinned by the umbrella
+//! `tests/parallel_differential.rs`).
+
+use crate::parallel::ParallelDnnf;
+use crate::pool::run_tasks;
+use crate::{variable_order_from_decomposition, EngineConfig};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use treelineage_dd::Manager;
+use treelineage_encoding::{
+    compile_ucq, CompileError, CompileOptions, CompiledQuery, EncodingError, TreeEncoding,
+};
+use treelineage_graph::TreeDecomposition;
+use treelineage_instance::{FactId, Instance, ProbabilityValuation};
+use treelineage_num::{BigUint, Rational};
+use treelineage_query::{matching, UnionOfConjunctiveQueries};
+
+/// Handle to an instance registered with an [`EvalSession`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct InstanceId(usize);
+
+/// Handle to a query registered with an [`EvalSession`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct QueryId(usize);
+
+/// Which compiled representation a session serves requests from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SessionBackend {
+    /// The Section 6 pipeline: tree-encode each instance once, compile each
+    /// query to a tree automaton once, serve every request from the cached
+    /// provenance d-SDNNF (never materializing query matches). The default.
+    #[default]
+    Automaton,
+    /// The shared decision-diagram engine: one [`Manager`] shard per
+    /// registered instance, query lineages compiled from their matches into
+    /// the shard and looked up by root node on later requests.
+    SharedDd,
+}
+
+/// Errors reported per request by the batch methods. Requests that share a
+/// failing (query, instance) pair share the (cloned) error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// The supplied decomposition is not valid for the instance.
+    InvalidDecomposition(String),
+    /// Tree-encoding the instance failed.
+    Encoding(EncodingError),
+    /// Compiling the query to an automaton failed (state budget, alphabet
+    /// limits).
+    QueryCompile(CompileError),
+    /// Provenance extraction failed (internal: the encoder's invariants
+    /// should rule this out).
+    Provenance(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::InvalidDecomposition(e) => write!(f, "invalid decomposition: {e}"),
+            EngineError::Encoding(e) => write!(f, "tree encoding failed: {e}"),
+            EngineError::QueryCompile(e) => write!(f, "query compilation failed: {e}"),
+            EngineError::Provenance(e) => write!(f, "provenance compilation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// A probability request: evaluate `query` on `instance` under independent
+/// per-fact probabilities.
+#[derive(Clone, Debug)]
+pub struct ProbabilityRequest {
+    /// The registered query.
+    pub query: QueryId,
+    /// The registered instance.
+    pub instance: InstanceId,
+    /// Per-fact probabilities (must cover every fact of the instance).
+    pub valuation: ProbabilityValuation,
+}
+
+/// A weighted-model-count request: general per-literal weights, indexed by
+/// fact id (so `pos[f]` / `neg[f]` weight fact `f` present / absent).
+#[derive(Clone, Debug)]
+pub struct WmcRequest {
+    /// The registered query.
+    pub query: QueryId,
+    /// The registered instance.
+    pub instance: InstanceId,
+    /// Weight of each fact being present, indexed by fact id.
+    pub pos: Vec<Rational>,
+    /// Weight of each fact being absent, indexed by fact id.
+    pub neg: Vec<Rational>,
+}
+
+/// Cache effectiveness counters of an [`EvalSession`] (monotone since the
+/// session was created).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Requests served across all batches.
+    pub requests: usize,
+    /// Lineage (d-SDNNF) cache hits.
+    pub lineage_hits: usize,
+    /// Lineage (d-SDNNF) cache misses (compiles).
+    pub lineage_misses: usize,
+    /// Compiled query machines built (per (query, width) misses).
+    pub machines_built: usize,
+    /// Tree encodings built (per-instance misses).
+    pub encodings_built: usize,
+    /// dd-shard lineage roots compiled (SharedDd backend misses).
+    pub dd_roots_built: usize,
+}
+
+#[derive(Default)]
+struct Counters {
+    requests: AtomicUsize,
+    lineage_hits: AtomicUsize,
+    lineage_misses: AtomicUsize,
+    machines_built: AtomicUsize,
+    encodings_built: AtomicUsize,
+    dd_roots_built: AtomicUsize,
+}
+
+/// An insertion-ordered map with a capacity cap: inserting past the cap
+/// evicts the oldest entry (enough LRU-ness for compile caches whose
+/// entries are all equally valid).
+struct CacheMap<K: Ord + Clone, V: Clone> {
+    map: BTreeMap<K, V>,
+    order: VecDeque<K>,
+    cap: usize,
+}
+
+impl<K: Ord + Clone, V: Clone> CacheMap<K, V> {
+    fn new(cap: usize) -> Self {
+        CacheMap {
+            map: BTreeMap::new(),
+            order: VecDeque::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    fn get(&self, key: &K) -> Option<V> {
+        self.map.get(key).cloned()
+    }
+
+    fn insert(&mut self, key: K, value: V) {
+        if self.map.insert(key.clone(), value).is_none() {
+            self.order.push_back(key);
+        }
+        while self.map.len() > self.cap {
+            let oldest = self.order.pop_front().expect("order tracks map");
+            self.map.remove(&oldest);
+        }
+    }
+}
+
+/// A dd-engine shard: one manager (pinned to the instance's fact order)
+/// plus the root nodes of the query lineages compiled into it so far.
+struct DdShard {
+    manager: Manager,
+    roots: BTreeMap<usize, treelineage_dd::NodeId>,
+}
+
+struct InstanceEntry {
+    instance: Instance,
+    decomposition: TreeDecomposition,
+    encoding: Mutex<Option<Arc<TreeEncoding>>>,
+    dd: Mutex<Option<DdShard>>,
+}
+
+/// A long-lived, batch-oriented evaluation session. See the module docs
+/// for the cache layers; see [`EngineConfig`] for the knobs.
+///
+/// Registration takes `&mut self`; the batch methods take `&self` and are
+/// internally synchronized, so a server can share one session behind an
+/// [`Arc`] and call batches from several threads.
+pub struct EvalSession {
+    config: EngineConfig,
+    backend: SessionBackend,
+    instances: Vec<InstanceEntry>,
+    queries: Vec<UnionOfConjunctiveQueries>,
+    /// Compiled query machines, keyed by (query, alphabet width). The
+    /// machine itself is behind a `Mutex` because materializing an
+    /// automaton grows its state memo (`&mut`).
+    machines: Mutex<MachineCache>,
+    /// Compiled lineages, keyed by (query, instance).
+    lineages: Mutex<CacheMap<(usize, usize), Arc<ParallelDnnf>>>,
+    counters: Counters,
+}
+
+/// Query-machine cache: (query, width) → shared, lockable [`CompiledQuery`].
+type MachineCache = CacheMap<(usize, usize), Arc<Mutex<CompiledQuery>>>;
+
+impl EvalSession {
+    /// Creates a session over the default [`SessionBackend::Automaton`].
+    pub fn new(config: EngineConfig) -> Self {
+        EvalSession::with_backend(config, SessionBackend::default())
+    }
+
+    /// Creates a session serving requests from the given backend.
+    pub fn with_backend(config: EngineConfig, backend: SessionBackend) -> Self {
+        EvalSession {
+            machines: Mutex::new(CacheMap::new(config.query_cache_cap)),
+            lineages: Mutex::new(CacheMap::new(config.lineage_cache_cap)),
+            config,
+            backend,
+            instances: Vec::new(),
+            queries: Vec::new(),
+            counters: Counters::default(),
+        }
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The backend requests are served from.
+    pub fn backend(&self) -> SessionBackend {
+        self.backend
+    }
+
+    /// Registers an instance, deriving a heuristic tree decomposition of
+    /// its Gaifman graph (valid by construction).
+    pub fn register_instance(&mut self, instance: Instance) -> InstanceId {
+        let (graph, _) = instance.gaifman_graph();
+        let (_, td) = treelineage_graph::treewidth::treewidth_upper_bound(&graph);
+        self.push_instance(instance, td)
+    }
+
+    /// Registers an instance with a known tree decomposition of its Gaifman
+    /// graph (validated here once; every later request trusts it).
+    pub fn register_instance_with_decomposition(
+        &mut self,
+        instance: Instance,
+        decomposition: TreeDecomposition,
+    ) -> Result<InstanceId, EngineError> {
+        let (graph, _) = instance.gaifman_graph();
+        decomposition
+            .validate(&graph)
+            .map_err(|e| EngineError::InvalidDecomposition(e.to_string()))?;
+        Ok(self.push_instance(instance, decomposition))
+    }
+
+    fn push_instance(
+        &mut self,
+        instance: Instance,
+        decomposition: TreeDecomposition,
+    ) -> InstanceId {
+        self.instances.push(InstanceEntry {
+            instance,
+            decomposition,
+            encoding: Mutex::new(None),
+            dd: Mutex::new(None),
+        });
+        InstanceId(self.instances.len() - 1)
+    }
+
+    /// The registered instance behind a handle.
+    pub fn instance(&self, id: InstanceId) -> &Instance {
+        &self.instances[id.0].instance
+    }
+
+    /// Registers a query (idempotent: an equal query returns its existing
+    /// handle, so its compile caches are shared).
+    pub fn register_query(&mut self, query: UnionOfConjunctiveQueries) -> QueryId {
+        if let Some(i) = self.queries.iter().position(|q| *q == query) {
+            return QueryId(i);
+        }
+        self.queries.push(query);
+        QueryId(self.queries.len() - 1)
+    }
+
+    /// Snapshot of the session's cache counters.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            lineage_hits: self.counters.lineage_hits.load(Ordering::Relaxed),
+            lineage_misses: self.counters.lineage_misses.load(Ordering::Relaxed),
+            machines_built: self.counters.machines_built.load(Ordering::Relaxed),
+            encodings_built: self.counters.encodings_built.load(Ordering::Relaxed),
+            dd_roots_built: self.counters.dd_roots_built.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Evaluates a batch of probability requests. Shared compile work is
+    /// deduplicated (each distinct (query, instance) pair compiles at most
+    /// once, then hits the session cache on later batches); compiles and
+    /// evaluations run concurrently on the configured thread count.
+    pub fn batch_probability(
+        &self,
+        requests: &[ProbabilityRequest],
+    ) -> Vec<Result<Rational, EngineError>> {
+        self.counters
+            .requests
+            .fetch_add(requests.len(), Ordering::Relaxed);
+        for r in requests {
+            assert_eq!(
+                r.valuation.len(),
+                self.instances[r.instance.0].instance.fact_count(),
+                "valuation must cover every fact of the instance"
+            );
+        }
+        match self.backend {
+            SessionBackend::Automaton => {
+                let artifacts =
+                    self.compile_pairs(requests.iter().map(|r| (r.query.0, r.instance.0)));
+                let eval_threads = self.eval_threads(requests.len());
+                run_tasks(self.config.threads, requests.len(), |i| {
+                    let r = &requests[i];
+                    let lineage = artifacts[&(r.query.0, r.instance.0)].clone()?;
+                    Ok(lineage.probability(
+                        &|v| r.valuation.probability(FactId(v)).clone(),
+                        eval_threads,
+                    ))
+                })
+            }
+            SessionBackend::SharedDd => run_tasks(self.config.threads, requests.len(), |i| {
+                let r = &requests[i];
+                self.dd_evaluate(r.query.0, r.instance.0, |manager, root| {
+                    manager.probability(root, &|v| r.valuation.probability(FactId(v)).clone())
+                })
+            }),
+        }
+    }
+
+    /// Evaluates a batch of general weighted-model-count requests. Always
+    /// served from the automaton backend's smooth d-SDNNF (one pass per
+    /// request), mirroring how the core evaluator routes WMC.
+    pub fn batch_wmc(&self, requests: &[WmcRequest]) -> Vec<Result<Rational, EngineError>> {
+        self.counters
+            .requests
+            .fetch_add(requests.len(), Ordering::Relaxed);
+        for r in requests {
+            let facts = self.instances[r.instance.0].instance.fact_count();
+            assert_eq!(
+                r.pos.len(),
+                facts,
+                "pos weights must cover every fact of the instance"
+            );
+            assert_eq!(
+                r.neg.len(),
+                facts,
+                "neg weights must cover every fact of the instance"
+            );
+        }
+        let artifacts = self.compile_pairs(requests.iter().map(|r| (r.query.0, r.instance.0)));
+        let eval_threads = self.eval_threads(requests.len());
+        run_tasks(self.config.threads, requests.len(), |i| {
+            let r = &requests[i];
+            let lineage = artifacts[&(r.query.0, r.instance.0)].clone()?;
+            Ok(lineage.wmc(&|v| r.pos[v].clone(), &|v| r.neg[v].clone(), eval_threads))
+        })
+    }
+
+    /// Evaluates a batch of model-count requests (number of satisfying
+    /// subinstances over the full fact universe). Duplicated pairs are
+    /// computed once.
+    pub fn batch_model_count(
+        &self,
+        requests: &[(QueryId, InstanceId)],
+    ) -> Vec<Result<BigUint, EngineError>> {
+        self.counters
+            .requests
+            .fetch_add(requests.len(), Ordering::Relaxed);
+        match self.backend {
+            SessionBackend::Automaton => {
+                let artifacts = self.compile_pairs(requests.iter().map(|&(q, i)| (q.0, i.0)));
+                let unique: Vec<(usize, usize)> = artifacts.keys().copied().collect();
+                let eval_threads = self.eval_threads(unique.len());
+                let counts = run_tasks(self.config.threads, unique.len(), |k| {
+                    artifacts[&unique[k]]
+                        .clone()
+                        .map(|lineage| lineage.model_count(eval_threads))
+                });
+                let by_pair: BTreeMap<(usize, usize), Result<BigUint, EngineError>> =
+                    unique.into_iter().zip(counts).collect();
+                requests
+                    .iter()
+                    .map(|&(q, i)| by_pair[&(q.0, i.0)].clone())
+                    .collect()
+            }
+            SessionBackend::SharedDd => {
+                // Dedup here too: identical pairs would otherwise re-run
+                // the count serialized on the same shard lock.
+                let unique: Vec<(usize, usize)> = requests
+                    .iter()
+                    .map(|&(q, i)| (q.0, i.0))
+                    .collect::<BTreeSet<_>>()
+                    .into_iter()
+                    .collect();
+                let counts = run_tasks(self.config.threads, unique.len(), |k| {
+                    let (q, i) = unique[k];
+                    self.dd_evaluate(q, i, |manager, root| manager.count_models(root))
+                });
+                let by_pair: BTreeMap<(usize, usize), Result<BigUint, EngineError>> =
+                    unique.into_iter().zip(counts).collect();
+                requests
+                    .iter()
+                    .map(|&(q, i)| by_pair[&(q.0, i.0)].clone())
+                    .collect()
+            }
+        }
+    }
+
+    /// Compiles (or fetches) the lineage of every distinct (query,
+    /// instance) pair of a batch, in parallel across pairs. Inner subtree
+    /// parallelism is enabled only when the batch has a single pair —
+    /// otherwise the pair-level parallelism already saturates the pool.
+    fn compile_pairs(
+        &self,
+        pairs: impl Iterator<Item = (usize, usize)>,
+    ) -> BTreeMap<(usize, usize), Result<Arc<ParallelDnnf>, EngineError>> {
+        let unique: Vec<(usize, usize)> = pairs.collect::<BTreeSet<_>>().into_iter().collect();
+        let inner_threads = self.eval_threads(unique.len());
+        let compiled = run_tasks(self.config.threads, unique.len(), |k| {
+            self.lineage(unique[k].0, unique[k].1, inner_threads)
+        });
+        unique.into_iter().zip(compiled).collect()
+    }
+
+    /// Inner (per-task) thread count: full fan-out for a lone task, no
+    /// nesting once the task set itself saturates the pool.
+    fn eval_threads(&self, task_count: usize) -> usize {
+        if task_count <= 1 {
+            self.config.threads
+        } else {
+            1
+        }
+    }
+
+    /// The lineage d-SDNNF of (query, instance), through the session
+    /// caches. Concurrent misses on the same pair may compile twice; the
+    /// construction is deterministic, so both results are identical and
+    /// either may be cached. The fragment *plan* always uses the session's
+    /// full thread count (so cached artifacts carry the partition later
+    /// fragment-parallel evaluations need) while `pool_threads` bounds the
+    /// workers this particular compile may spawn — 1 when the batch itself
+    /// already saturates the pool.
+    fn lineage(
+        &self,
+        query: usize,
+        instance: usize,
+        pool_threads: usize,
+    ) -> Result<Arc<ParallelDnnf>, EngineError> {
+        if let Some(hit) = self.lineages.lock().unwrap().get(&(query, instance)) {
+            self.counters.lineage_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit);
+        }
+        self.counters.lineage_misses.fetch_add(1, Ordering::Relaxed);
+        let encoding = self.encoding(instance)?;
+        let machine = self.machine(query, encoding.alphabet().width())?;
+        let automaton = machine
+            .lock()
+            .unwrap()
+            .automaton_for(encoding.tree())
+            .map_err(EngineError::QueryCompile)?;
+        let compiled = crate::parallel::compile_with_pool(
+            &automaton,
+            encoding.tree(),
+            &self.config,
+            pool_threads,
+        )
+        .map_err(|e| EngineError::Provenance(e.to_string()))?;
+        let arc = Arc::new(compiled);
+        self.lineages
+            .lock()
+            .unwrap()
+            .insert((query, instance), arc.clone());
+        Ok(arc)
+    }
+
+    /// The instance's tree encoding, built on first use.
+    fn encoding(&self, instance: usize) -> Result<Arc<TreeEncoding>, EngineError> {
+        let entry = &self.instances[instance];
+        let mut slot = entry.encoding.lock().unwrap();
+        if let Some(encoding) = slot.as_ref() {
+            return Ok(encoding.clone());
+        }
+        self.counters
+            .encodings_built
+            .fetch_add(1, Ordering::Relaxed);
+        // Trusted: the decomposition was validated (or is valid by
+        // construction) at registration.
+        let encoding = treelineage_encoding::encode_trusted(&entry.instance, &entry.decomposition)
+            .map_err(EngineError::Encoding)?;
+        let arc = Arc::new(encoding);
+        *slot = Some(arc.clone());
+        Ok(arc)
+    }
+
+    /// The compiled query machine for (query, width), built on first use.
+    /// The machine's own deterministic-state memo persists across every
+    /// instance of that width.
+    fn machine(
+        &self,
+        query: usize,
+        width: usize,
+    ) -> Result<Arc<Mutex<CompiledQuery>>, EngineError> {
+        if let Some(hit) = self.machines.lock().unwrap().get(&(query, width)) {
+            return Ok(hit);
+        }
+        self.counters.machines_built.fetch_add(1, Ordering::Relaxed);
+        let alphabet =
+            treelineage_encoding::EncodingAlphabet::new(self.queries[query].signature(), width)
+                .map_err(|e| EngineError::Encoding(EncodingError::Alphabet(e)))?;
+        let options = CompileOptions {
+            state_budget: self.config.state_budget,
+        };
+        let machine = compile_ucq(&self.queries[query], &alphabet, options)
+            .map_err(EngineError::QueryCompile)?;
+        let arc = Arc::new(Mutex::new(machine));
+        self.machines
+            .lock()
+            .unwrap()
+            .insert((query, width), arc.clone());
+        Ok(arc)
+    }
+
+    /// Runs `eval` on the (query, instance) root in the instance's dd
+    /// shard, compiling the lineage into the shard on first use. The shard
+    /// lock is held for the duration — contention is per instance, not per
+    /// session.
+    fn dd_evaluate<T>(
+        &self,
+        query: usize,
+        instance: usize,
+        eval: impl FnOnce(&Manager, treelineage_dd::NodeId) -> T,
+    ) -> Result<T, EngineError> {
+        let entry = &self.instances[instance];
+        let mut slot = entry.dd.lock().unwrap();
+        let shard = slot.get_or_insert_with(|| {
+            let mut order =
+                variable_order_from_decomposition(&entry.instance, &entry.decomposition);
+            let present: BTreeSet<usize> = order.iter().copied().collect();
+            for f in entry.instance.fact_ids() {
+                if !present.contains(&f.0) {
+                    order.push(f.0);
+                }
+            }
+            DdShard {
+                manager: Manager::new(order),
+                roots: BTreeMap::new(),
+            }
+        });
+        let root = match shard.roots.get(&query) {
+            Some(&root) => {
+                self.counters.lineage_hits.fetch_add(1, Ordering::Relaxed);
+                root
+            }
+            None => {
+                self.counters.lineage_misses.fetch_add(1, Ordering::Relaxed);
+                self.counters.dd_roots_built.fetch_add(1, Ordering::Relaxed);
+                let circuit = match_circuit(&self.queries[query], &entry.instance);
+                let root = shard.manager.compile_circuit(&circuit);
+                shard.roots.insert(query, root);
+                root
+            }
+        };
+        Ok(eval(&shard.manager, root))
+    }
+}
+
+/// The monotone lineage circuit of the query on the instance: the
+/// disjunction over matches of the conjunction of their facts (the same
+/// circuit `treelineage-core`'s `LineageBuilder::circuit` builds).
+fn match_circuit(
+    query: &UnionOfConjunctiveQueries,
+    instance: &Instance,
+) -> treelineage_circuit::Circuit {
+    use treelineage_circuit::{Circuit, GateId};
+    let mut circuit = Circuit::new();
+    let matches = matching::all_matches(query, instance);
+    let mut disjuncts: Vec<GateId> = Vec::with_capacity(matches.len());
+    for m in &matches {
+        let conj: Vec<GateId> = m.iter().map(|f| circuit.var(f.0)).collect();
+        let gate = if conj.len() == 1 {
+            conj[0]
+        } else {
+            circuit.and(conj)
+        };
+        disjuncts.push(gate);
+    }
+    let output = match disjuncts.len() {
+        0 => circuit.constant(false),
+        1 => disjuncts[0],
+        _ => circuit.or(disjuncts),
+    };
+    circuit.set_output(output);
+    circuit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treelineage_instance::Signature;
+    use treelineage_query::parse_query;
+
+    fn rst() -> Signature {
+        Signature::builder()
+            .relation("R", 1)
+            .relation("S", 2)
+            .relation("T", 1)
+            .build()
+    }
+
+    fn chain(n: usize) -> Instance {
+        let mut inst = Instance::new(rst());
+        for i in 0..n as u64 {
+            inst.add_fact_by_name("R", &[i]);
+            inst.add_fact_by_name("S", &[i, i + 1]);
+            inst.add_fact_by_name("T", &[i + 1]);
+        }
+        inst
+    }
+
+    fn session_with(backend: SessionBackend) -> (EvalSession, QueryId, InstanceId) {
+        let mut session = EvalSession::with_backend(EngineConfig::with_threads(2), backend);
+        let q = session.register_query(parse_query(&rst(), "R(x), S(x, y), T(y)").unwrap());
+        let i = session.register_instance(chain(4));
+        (session, q, i)
+    }
+
+    #[test]
+    fn batches_agree_across_backends_and_hit_the_caches() {
+        let (auto, q, i) = session_with(SessionBackend::Automaton);
+        let (dd, q2, i2) = session_with(SessionBackend::SharedDd);
+        let valuation =
+            ProbabilityValuation::uniform(auto.instance(i), Rational::from_ratio_u64(1, 3));
+        let requests: Vec<ProbabilityRequest> = (0..6)
+            .map(|_| ProbabilityRequest {
+                query: q,
+                instance: i,
+                valuation: valuation.clone(),
+            })
+            .collect();
+        let got_auto = auto.batch_probability(&requests);
+        let requests_dd: Vec<ProbabilityRequest> = requests
+            .iter()
+            .map(|r| ProbabilityRequest {
+                query: q2,
+                instance: i2,
+                ..r.clone()
+            })
+            .collect();
+        let got_dd = dd.batch_probability(&requests_dd);
+        assert_eq!(got_auto, got_dd);
+        assert!(got_auto.iter().all(|r| r == &got_auto[0]));
+        // Six requests, one distinct pair: exactly one compile each.
+        assert_eq!(auto.stats().lineage_misses, 1);
+        assert_eq!(dd.stats().dd_roots_built, 1);
+        // Second batch: pure cache hits.
+        let again = auto.batch_probability(&requests);
+        assert_eq!(again, got_auto);
+        assert_eq!(auto.stats().lineage_misses, 1);
+        assert!(auto.stats().lineage_hits >= 1);
+    }
+
+    #[test]
+    fn model_counts_match_across_backends() {
+        let (auto, q, i) = session_with(SessionBackend::Automaton);
+        let (dd, q2, i2) = session_with(SessionBackend::SharedDd);
+        let a = auto.batch_model_count(&[(q, i), (q, i)]);
+        let d = dd.batch_model_count(&[(q2, i2)]);
+        assert_eq!(a[0], a[1]);
+        assert_eq!(a[0], d[0]);
+    }
+
+    #[test]
+    fn wmc_batches_with_general_weights() {
+        let (session, q, i) = session_with(SessionBackend::Automaton);
+        let n = session.instance(i).fact_count();
+        let pos: Vec<Rational> = (0..n)
+            .map(|f| Rational::from_ratio_u64(f as u64 + 2, 3))
+            .collect();
+        let neg: Vec<Rational> = (0..n)
+            .map(|f| Rational::from_ratio_u64(1, f as u64 + 1))
+            .collect();
+        let got = session.batch_wmc(&[WmcRequest {
+            query: q,
+            instance: i,
+            pos: pos.clone(),
+            neg: neg.clone(),
+        }]);
+        // pos = neg = 1 counts models.
+        let ones: Vec<Rational> = (0..n).map(|_| Rational::one()).collect();
+        let counts = session.batch_wmc(&[WmcRequest {
+            query: q,
+            instance: i,
+            pos: ones.clone(),
+            neg: ones,
+        }]);
+        let models = session.batch_model_count(&[(q, i)]);
+        assert_eq!(
+            counts[0].clone().unwrap(),
+            Rational::from_biguint(models[0].clone().unwrap())
+        );
+        assert!(got[0].is_ok());
+    }
+
+    #[test]
+    fn queries_are_deduplicated_and_caches_capped() {
+        let mut session = EvalSession::new(EngineConfig {
+            lineage_cache_cap: 1,
+            ..EngineConfig::default()
+        });
+        let q1 = session.register_query(parse_query(&rst(), "R(x)").unwrap());
+        let q2 = session.register_query(parse_query(&rst(), "R(x)").unwrap());
+        assert_eq!(q1, q2);
+        let q3 = session.register_query(parse_query(&rst(), "T(x)").unwrap());
+        assert_ne!(q1, q3);
+        let i = session.register_instance(chain(2));
+        // Two pairs through a cap-1 cache: second batch of the first pair
+        // must recompile (evicted), and results must still be identical.
+        let first = session.batch_model_count(&[(q1, i)]);
+        let _ = session.batch_model_count(&[(q3, i)]);
+        let second = session.batch_model_count(&[(q1, i)]);
+        assert_eq!(first, second);
+        assert_eq!(session.stats().lineage_misses, 3);
+    }
+
+    #[test]
+    fn invalid_decomposition_is_rejected_at_registration() {
+        let mut session = EvalSession::new(EngineConfig::default());
+        let result =
+            session.register_instance_with_decomposition(chain(2), TreeDecomposition::new());
+        assert!(matches!(result, Err(EngineError::InvalidDecomposition(_))));
+    }
+}
