@@ -62,8 +62,9 @@ pub use lineage::{
 };
 pub use probability::{model_check, ProbabilityEvaluator};
 pub use treelineage_engine::{
-    CircuitPartition, EngineConfig, EngineError, EvalSession, ParallelDnnf, ProbabilityRequest,
-    SessionBackend, SessionStats, WmcRequest,
+    karp_luby_probability, karp_luby_sample_bound, CircuitPartition, DecisionTier, EngineConfig,
+    EngineError, EvalSession, KarpLubyEstimate, ParallelDnnf, ProbabilityRequest, SessionBackend,
+    SessionStats, ThresholdDecision, ThresholdRequest, WmcRequest,
 };
 
 /// Convenience re-exports of the types most users need.
@@ -79,7 +80,7 @@ pub mod prelude {
         Element, FactId, Instance, ProbabilityValuation, RelationId, Signature,
         TupleIndependentDatabase,
     };
-    pub use treelineage_num::{BigInt, BigUint, Rational};
+    pub use treelineage_num::{BigInt, BigUint, ErrorInterval, Rational};
     pub use treelineage_query::{
         parse_query, ConjunctiveQuery, MsoFormula, UnionOfConjunctiveQueries,
     };

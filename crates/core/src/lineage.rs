@@ -33,7 +33,7 @@ use treelineage_circuit::{Circuit, Dnnf, GateId, Obdd, Ref, VarId, Vtree};
 use treelineage_engine::EngineConfig;
 use treelineage_graph::TreeDecomposition;
 use treelineage_instance::{FactId, Instance};
-use treelineage_num::{BigUint, Rational};
+use treelineage_num::{BigUint, ErrorInterval, Rational};
 use treelineage_query::{matching, UnionOfConjunctiveQueries};
 
 /// The compilation backend a lineage-consuming pipeline routes through (see
@@ -136,6 +136,24 @@ impl StructuredLineage {
         neg: &dyn Fn(VarId) -> Rational,
     ) -> Rational {
         self.smoothed.wmc(pos, neg)
+    }
+
+    /// Float fast-path of [`StructuredLineage::probability`]: the same pass
+    /// in certified interval arithmetic. The returned interval is guaranteed
+    /// to contain the exact rational answer.
+    pub fn probability_interval(&self, prob: &dyn Fn(VarId) -> ErrorInterval) -> ErrorInterval {
+        self.dnnf.probability_interval(prob)
+    }
+
+    /// Float fast-path of [`StructuredLineage::wmc`] over the smoothed
+    /// circuit, with the same containment guarantee as
+    /// [`StructuredLineage::probability_interval`].
+    pub fn wmc_interval(
+        &self,
+        pos: &dyn Fn(VarId) -> ErrorInterval,
+        neg: &dyn Fn(VarId) -> ErrorInterval,
+    ) -> ErrorInterval {
+        self.smoothed.wmc_interval(pos, neg)
     }
 
     /// Number of satisfying subinstances over the full fact universe: one
@@ -261,6 +279,27 @@ impl AutomatonLineage {
     /// [`AutomatonLineage::probability`].
     pub fn model_count(&self) -> BigUint {
         self.lineage.model_count(self.threads)
+    }
+
+    /// Float fast-path of [`AutomatonLineage::probability`]: the same
+    /// fragment-parallel pass in certified interval arithmetic. The returned
+    /// interval is guaranteed to contain the exact rational answer and is
+    /// bit-identical at every thread count.
+    pub fn probability_interval(
+        &self,
+        prob: &(dyn Fn(VarId) -> ErrorInterval + Sync),
+    ) -> ErrorInterval {
+        self.lineage.probability_interval(prob, self.threads)
+    }
+
+    /// Float fast-path of [`AutomatonLineage::wmc`], with the same
+    /// containment guarantee as [`AutomatonLineage::probability_interval`].
+    pub fn wmc_interval(
+        &self,
+        pos: &(dyn Fn(VarId) -> ErrorInterval + Sync),
+        neg: &(dyn Fn(VarId) -> ErrorInterval + Sync),
+    ) -> ErrorInterval {
+        self.lineage.wmc_interval(pos, neg, self.threads)
     }
 }
 

@@ -16,7 +16,7 @@ use crate::lineage::{LineageBackend, LineageBuilder, LineageError};
 use std::collections::BTreeSet;
 use treelineage_graph::TreeDecomposition;
 use treelineage_instance::{FactId, Instance, ProbabilityValuation};
-use treelineage_num::{BigUint, Rational};
+use treelineage_num::{BigUint, ErrorInterval, Rational};
 use treelineage_query::{matching, UnionOfConjunctiveQueries};
 
 /// Exact probability evaluation for UCQ≠ queries on TID instances.
@@ -98,6 +98,44 @@ impl<'a> ProbabilityEvaluator<'a> {
             LineageBackend::StructuredDnnf => self.query_probability_via_structured_dnnf(query),
             LineageBackend::Automaton => self.query_probability_via_automaton(query),
         }
+    }
+
+    /// Float fast-path of [`ProbabilityEvaluator::query_probability`]: the
+    /// same linear pass over the compiled lineage, but in certified `f64`
+    /// interval arithmetic instead of exact big-rational arithmetic.
+    ///
+    /// Returns `(estimate, interval)` where `interval` is **guaranteed to
+    /// contain the exact rational probability** (every gate combines its
+    /// children's enclosures with outward-rounded interval operations, and
+    /// each leaf gets the optimal `f64` bracket of its exact input
+    /// probability) and `estimate` is the interval midpoint. The interval
+    /// width is the certificate: a caller comparing against a decision
+    /// threshold can trust any comparison the interval resolves, and only
+    /// needs the exact [`ProbabilityEvaluator::query_probability`] when the
+    /// threshold lands inside the interval — the float-first serving policy
+    /// that [`treelineage_engine::EvalSession`] wires up as
+    /// [`treelineage_engine::SessionBackend::FloatFirst`].
+    ///
+    /// Routed per backend: [`LineageBackend::Automaton`] runs the
+    /// fragment-parallel interval pass over the provenance d-SDNNF (still
+    /// bit-identical at every thread count); every other backend runs the
+    /// sequential interval pass over the structured d-DNNF export.
+    pub fn query_probability_f64(
+        &self,
+        query: &UnionOfConjunctiveQueries,
+    ) -> Result<(f64, ErrorInterval), LineageError> {
+        let weight = |v: usize| ErrorInterval::from_rational(self.valuation.probability(FactId(v)));
+        let interval = match self.backend {
+            LineageBackend::Automaton => self
+                .builder(query)?
+                .automaton_lineage()?
+                .probability_interval(&weight),
+            _ => self
+                .builder(query)?
+                .structured_dnnf()
+                .probability_interval(&weight),
+        };
+        Ok((interval.midpoint(), interval))
     }
 
     /// The probability computed through the automaton pipeline (tree
@@ -385,6 +423,29 @@ mod tests {
                 evaluator.model_count_bruteforce(&q).to_u64(),
                 "{backend:?}"
             );
+        }
+    }
+
+    #[test]
+    fn float_fast_path_interval_contains_exact_on_every_backend() {
+        let q = parse_query(&rst(), "R(x), S(x, y), T(y)").unwrap();
+        let inst = chain(4);
+        let probs: Vec<f64> = (0..inst.fact_count())
+            .map(|i| [0.5, 0.25, 0.75, 0.125][i % 4])
+            .collect();
+        let valuation = ProbabilityValuation::from_f64(&inst, &probs);
+        for backend in [
+            crate::LineageBackend::LegacyObdd,
+            crate::LineageBackend::SharedDd,
+            crate::LineageBackend::StructuredDnnf,
+            crate::LineageBackend::Automaton,
+        ] {
+            let evaluator = ProbabilityEvaluator::new(&inst, &valuation).with_backend(backend);
+            let exact = evaluator.query_probability(&q).unwrap();
+            let (estimate, interval) = evaluator.query_probability_f64(&q).unwrap();
+            assert!(interval.contains(&exact), "{backend:?}");
+            assert!(interval.contains_f64(estimate), "{backend:?}");
+            assert!(interval.width() < 1e-12, "{backend:?}: {interval:?}");
         }
     }
 

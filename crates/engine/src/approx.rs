@@ -1,0 +1,321 @@
+//! Karp–Luby Monte-Carlo estimation of query probability over DNF lineages.
+//!
+//! The dichotomy's hardness half (Theorem 4.2 of the paper: no
+//! subexponential OBDDs — and no tractable exact evaluation — beyond
+//! bounded-treewidth instances) means the exact pipeline *must* fail on
+//! some inputs: the query→automaton compiler gives up when its reachable
+//! deterministic state set blows the configured budget. This module turns
+//! that failure into a degraded-but-served mode, the classical Karp–Luby
+//! *coverage* estimator specialized to match-DNF lineages:
+//!
+//! The lineage of a UCQ is a monotone DNF `∨_i ∧_{f ∈ mᵢ} f` over the
+//! query's matches `mᵢ` (one clause per match). Direct sampling of worlds
+//! is useless when `P` is small, so Karp–Luby samples from the *covered*
+//! space instead: pick clause `i` with probability `wᵢ / W` (where
+//! `wᵢ = Π_{f ∈ mᵢ} p_f` and `W = Σᵢ wᵢ`), then sample a world conditioned
+//! on clause `i` being true, and record `1 / cover(world)` where `cover`
+//! counts the clauses the world satisfies. The identity
+//! `P = W · E[1/cover]` is exact, the per-sample value lies in `[1/m, 1]`,
+//! and `N = ⌈4·m·ln(2/δ)/ε²⌉` samples suffice for relative error `ε` with
+//! probability `1 − δ` (Karp–Luby–Madras; `m` = number of clauses). Since
+//! `P ≤ 1`, the relative bound implies the absolute one the tests check.
+//!
+//! Worlds are bitmasks over the *relevant* facts only (facts appearing in
+//! some match) — irrelevant facts cannot change any clause, so they are
+//! never sampled. The generator is the in-tree deterministic splitmix64
+//! `StdRng`, so a fixed seed reproduces the estimate bit-for-bit.
+
+use rand::{rngs::StdRng, Rng, RngCore, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet};
+use treelineage_instance::{FactId, Instance, ProbabilityValuation};
+use treelineage_num::ErrorInterval;
+use treelineage_query::{matching, UnionOfConjunctiveQueries};
+
+/// The result of a Karp–Luby estimation run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KarpLubyEstimate {
+    /// The point estimate of the query probability (clamped to `[0, 1]`).
+    pub estimate: f64,
+    /// The relative error bound the sample count was sized for.
+    pub epsilon: f64,
+    /// The failure probability the sample count was sized for.
+    pub delta: f64,
+    /// Samples actually drawn (`0` when the answer was exact: empty DNF,
+    /// a trivially-true clause, or zero total clause weight).
+    pub samples: usize,
+    /// Number of DNF clauses (distinct query matches).
+    pub clauses: usize,
+}
+
+impl KarpLubyEstimate {
+    /// The `(ε, δ)` enclosure of the exact probability: with probability at
+    /// least `1 − δ` the exact value lies in `[est/(1+ε), est/(1−ε)]`
+    /// (clamped to `[0, 1]`). Unlike the certified interval of the float
+    /// pass this bound is *probabilistic* — callers that need certainty
+    /// must use the exact pipeline.
+    pub fn interval(&self) -> ErrorInterval {
+        if self.samples == 0 {
+            return ErrorInterval::exact(self.estimate);
+        }
+        let lo = (self.estimate / (1.0 + self.epsilon)).max(0.0);
+        let hi = (self.estimate / (1.0 - self.epsilon)).min(1.0);
+        ErrorInterval::new(lo.min(hi), hi.max(lo))
+    }
+}
+
+/// The Karp–Luby–Madras sample count for relative error `ε` with failure
+/// probability `δ` on a DNF with `clauses` clauses:
+/// `N = ⌈4 · clauses · ln(2/δ) / ε²⌉`.
+pub fn karp_luby_sample_bound(clauses: usize, epsilon: f64, delta: f64) -> usize {
+    assert!(
+        epsilon > 0.0 && epsilon < 1.0,
+        "epsilon must lie in (0, 1), got {epsilon}"
+    );
+    assert!(
+        delta > 0.0 && delta < 1.0,
+        "delta must lie in (0, 1), got {delta}"
+    );
+    if clauses == 0 {
+        return 0;
+    }
+    ((4.0 * clauses as f64 * (2.0 / delta).ln()) / (epsilon * epsilon)).ceil() as usize
+}
+
+/// A uniform draw from `[0, 1)` (53 random mantissa bits).
+fn unit(rng: &mut StdRng) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Estimates the probability that `query` holds on `instance` under
+/// independent per-fact probabilities, by Karp–Luby coverage sampling over
+/// the match DNF with the `(ε, δ)` sample count of
+/// [`karp_luby_sample_bound`]. Deterministic for a fixed `seed`.
+///
+/// Trivial cases are answered exactly with zero samples: no matches
+/// (probability 0), a match over no facts (probability 1), and zero total
+/// clause weight (probability 0).
+pub fn karp_luby_probability(
+    query: &UnionOfConjunctiveQueries,
+    instance: &Instance,
+    valuation: &ProbabilityValuation,
+    epsilon: f64,
+    delta: f64,
+    seed: u64,
+) -> KarpLubyEstimate {
+    // Deduplicated clauses: distinct matches can use identical fact sets
+    // (the estimator stays exact with duplicates, but dedup lowers both the
+    // sample bound and the variance).
+    let clauses: BTreeSet<Vec<FactId>> = matching::all_matches(query, instance)
+        .into_iter()
+        .map(|m| {
+            let mut facts: Vec<FactId> = m.iter().copied().collect();
+            facts.sort_unstable();
+            facts.dedup();
+            facts
+        })
+        .collect();
+    let m = clauses.len();
+    let exact = |estimate: f64| KarpLubyEstimate {
+        estimate,
+        epsilon,
+        delta,
+        samples: 0,
+        clauses: m,
+    };
+    if m == 0 {
+        return exact(0.0);
+    }
+    if clauses.iter().any(|c| c.is_empty()) {
+        // A match over no facts is a tautology.
+        return exact(1.0);
+    }
+
+    // Index the relevant facts and build per-clause bitmasks.
+    let relevant: Vec<FactId> = clauses
+        .iter()
+        .flatten()
+        .copied()
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let index: BTreeMap<FactId, usize> =
+        relevant.iter().enumerate().map(|(i, &f)| (f, i)).collect();
+    let words = relevant.len().div_ceil(64);
+    let masks: Vec<Vec<u64>> = clauses
+        .iter()
+        .map(|clause| {
+            let mut mask = vec![0u64; words];
+            for f in clause {
+                let bit = index[f];
+                mask[bit / 64] |= 1 << (bit % 64);
+            }
+            mask
+        })
+        .collect();
+    let probs: Vec<f64> = relevant
+        .iter()
+        .map(|&f| valuation.probability(f).to_f64().clamp(0.0, 1.0))
+        .collect();
+
+    // Clause weights and the cumulative distribution for ∝-weight sampling.
+    let weights: Vec<f64> = clauses
+        .iter()
+        .map(|clause| clause.iter().map(|f| probs[index[f]]).product())
+        .collect();
+    let total_weight: f64 = weights.iter().sum();
+    if total_weight <= 0.0 {
+        return exact(0.0);
+    }
+    let mut cumulative = Vec::with_capacity(m);
+    let mut acc = 0.0;
+    for &w in &weights {
+        acc += w;
+        cumulative.push(acc);
+    }
+
+    let samples = karp_luby_sample_bound(m, epsilon, delta);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coverage_sum = 0.0f64;
+    let mut world = vec![0u64; words];
+    for _ in 0..samples {
+        // Clause i with probability wᵢ / W.
+        let target = unit(&mut rng) * total_weight;
+        let chosen = cumulative.partition_point(|&c| c <= target).min(m - 1);
+        // World conditioned on clause `chosen` true: its facts are present,
+        // every other relevant fact keeps its own probability.
+        world.copy_from_slice(&masks[chosen]);
+        for (bit, &p) in probs.iter().enumerate() {
+            let (word, shift) = (bit / 64, bit % 64);
+            if masks[chosen][word] >> shift & 1 == 0 && rng.gen_bool(p) {
+                world[word] |= 1 << shift;
+            }
+        }
+        // cover(world) ≥ 1: the chosen clause is satisfied by construction.
+        let cover = masks
+            .iter()
+            .filter(|mask| mask.iter().zip(&world).all(|(&mw, &ww)| mw & ww == mw))
+            .count();
+        coverage_sum += 1.0 / cover as f64;
+    }
+    KarpLubyEstimate {
+        estimate: (total_weight * coverage_sum / samples as f64).clamp(0.0, 1.0),
+        epsilon,
+        delta,
+        samples,
+        clauses: m,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treelineage_instance::Signature;
+    use treelineage_num::Rational;
+    use treelineage_query::parse_query;
+
+    fn rst() -> Signature {
+        Signature::builder()
+            .relation("R", 1)
+            .relation("S", 2)
+            .relation("T", 1)
+            .build()
+    }
+
+    fn chain(n: usize) -> Instance {
+        let mut inst = Instance::new(rst());
+        for i in 0..n as u64 {
+            inst.add_fact_by_name("R", &[i]);
+            inst.add_fact_by_name("S", &[i, i + 1]);
+            inst.add_fact_by_name("T", &[i + 1]);
+        }
+        inst
+    }
+
+    /// Exact probability of the match DNF by brute-force world enumeration
+    /// over the relevant facts (exponential — test-sized instances only).
+    fn brute_force(
+        query: &UnionOfConjunctiveQueries,
+        instance: &Instance,
+        valuation: &ProbabilityValuation,
+    ) -> f64 {
+        let clauses: Vec<BTreeSet<FactId>> = matching::all_matches(query, instance)
+            .into_iter()
+            .map(|mm| mm.iter().copied().collect())
+            .collect();
+        let relevant: Vec<FactId> = clauses
+            .iter()
+            .flatten()
+            .copied()
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let mut total = 0.0;
+        for world in 0u64..1 << relevant.len() {
+            let present: BTreeSet<FactId> = relevant
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| world >> i & 1 == 1)
+                .map(|(_, &f)| f)
+                .collect();
+            if !clauses.iter().any(|c| c.is_subset(&present)) {
+                continue;
+            }
+            let p: f64 = relevant
+                .iter()
+                .map(|f| {
+                    let pf = valuation.probability(*f).to_f64();
+                    if present.contains(f) {
+                        pf
+                    } else {
+                        1.0 - pf
+                    }
+                })
+                .product();
+            total += p;
+        }
+        total
+    }
+
+    #[test]
+    fn sample_bound_formula() {
+        assert_eq!(karp_luby_sample_bound(0, 0.1, 0.1), 0);
+        // 4 · 1 · ln(20) / 0.01 = 1198.29… → 1199.
+        assert_eq!(karp_luby_sample_bound(1, 0.1, 0.1), 1199);
+        // Linear in the clause count.
+        assert_eq!(karp_luby_sample_bound(3, 0.1, 0.1), 3 * 1199 - 2);
+    }
+
+    #[test]
+    fn trivial_cases_are_exact() {
+        let inst = chain(2);
+        let valuation = ProbabilityValuation::all_one_half(&inst);
+        // A query with no matches.
+        let q = parse_query(&rst(), "R(x), T(x), S(x, x)").unwrap();
+        let e = karp_luby_probability(&q, &inst, &valuation, 0.1, 0.1, 7);
+        assert_eq!(e.estimate, 0.0);
+        assert_eq!(e.samples, 0);
+        assert_eq!(e.interval(), ErrorInterval::exact(0.0));
+    }
+
+    #[test]
+    fn estimate_agrees_with_brute_force_within_epsilon() {
+        let inst = chain(3);
+        let q = parse_query(&rst(), "R(x), S(x, y), T(y)").unwrap();
+        let valuation = ProbabilityValuation::uniform(&inst, Rational::from_ratio_u64(1, 3));
+        let exact = brute_force(&q, &inst, &valuation);
+        assert!(exact > 0.0 && exact < 1.0);
+        let epsilon = 0.05;
+        let e = karp_luby_probability(&q, &inst, &valuation, epsilon, 0.05, 42);
+        assert!(e.samples >= karp_luby_sample_bound(e.clauses, epsilon, 0.05));
+        assert!(
+            (e.estimate - exact).abs() <= epsilon * exact,
+            "estimate {} vs exact {}",
+            e.estimate,
+            exact
+        );
+        assert!(e.interval().contains_f64(exact));
+        // Deterministic for a fixed seed.
+        let again = karp_luby_probability(&q, &inst, &valuation, epsilon, 0.05, 42);
+        assert_eq!(e, again);
+    }
+}

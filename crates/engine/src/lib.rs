@@ -30,16 +30,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod approx;
 mod parallel;
 mod pool;
 mod session;
 
+pub use approx::{karp_luby_probability, karp_luby_sample_bound, KarpLubyEstimate};
 pub use parallel::{
     compile_structured_dnnf_parallel, parallel_reachable_states, CircuitPartition, ParallelDnnf,
 };
 pub use session::{
-    EngineError, EvalSession, InstanceId, ProbabilityRequest, QueryId, SessionBackend,
-    SessionStats, WmcRequest,
+    DecisionTier, EngineError, EvalSession, InstanceId, ProbabilityRequest, QueryId,
+    SessionBackend, SessionStats, ThresholdDecision, ThresholdRequest, WmcRequest,
 };
 
 use treelineage_dd::order::order_by_first_covering_bag;
@@ -47,10 +49,14 @@ use treelineage_graph::TreeDecomposition;
 use treelineage_instance::Instance;
 
 /// Configuration of the parallel engine: thread count, the query compiler's
-/// state budget, and the [`EvalSession`] cache caps. The default is fully
-/// sequential with the compiler's default budget — existing entry points
-/// behave exactly as before until they opt in.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// state budget, the [`EvalSession`] cache caps, and the approximate
+/// evaluation knobs. The default is fully sequential, exact-only, with the
+/// compiler's default budget — existing entry points behave exactly as
+/// before until they opt in.
+///
+/// (No `Eq`: the `(ε, δ)` knobs are `f64`. `PartialEq` is still derived and
+/// the engine never stores `NaN` in them.)
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct EngineConfig {
     /// Worker threads for subtree compilation and batched evaluation.
     /// `1` (the default) means everything runs on the caller's thread.
@@ -65,11 +71,25 @@ pub struct EngineConfig {
     /// exercise the merge on small trees.
     pub fragment_grain: usize,
     /// Maximum number of compiled query machines an [`EvalSession`] keeps
-    /// (per (query, alphabet width); oldest evicted first).
+    /// (per (query, alphabet width); least recently used evicted first).
     pub query_cache_cap: usize,
     /// Maximum number of compiled lineages an [`EvalSession`] keeps (per
-    /// (query, instance); oldest evicted first).
+    /// (query, instance); least recently used evicted first).
     pub lineage_cache_cap: usize,
+    /// Serve probability requests float-first: [`EvalSession::new`] picks
+    /// [`SessionBackend::FloatFirst`], threshold requests are answered from
+    /// the certified f64 interval pass (falling back to exact rationals
+    /// only when the threshold lands inside the interval), and instances
+    /// whose query compilation blows the state budget degrade to the
+    /// Karp–Luby estimator instead of failing. Default `false`.
+    pub float_first: bool,
+    /// Relative error bound ε of the Karp–Luby fallback estimator
+    /// (`|estimate − exact| ≤ ε·exact` with probability `1 − δ`). Default
+    /// `0.01`.
+    pub epsilon: f64,
+    /// Failure probability δ of the Karp–Luby fallback estimator. Default
+    /// `0.01`.
+    pub delta: f64,
 }
 
 impl Default for EngineConfig {
@@ -80,6 +100,9 @@ impl Default for EngineConfig {
             fragment_grain: 0,
             query_cache_cap: 64,
             lineage_cache_cap: 256,
+            float_first: false,
+            epsilon: 0.01,
+            delta: 0.01,
         }
     }
 }

@@ -41,7 +41,7 @@ use treelineage_automata::{
     StructuredDnnfError, TreeAutomaton, UncertainTree,
 };
 use treelineage_circuit::{Circuit, Dnnf, Gate, GateId, VarId, Vtree, VtreeId, VtreeNode};
-use treelineage_num::{BigUint, Rational};
+use treelineage_num::{BigUint, ErrorInterval, Rational};
 
 /// Fragments below this size are not worth a task of their own: the replay
 /// and scheduling overhead would exceed the construction work.
@@ -215,6 +215,43 @@ impl ParallelDnnf {
             &self.partition,
             threads,
             &CountPass,
+        )
+    }
+
+    /// The float fast-path of [`ParallelDnnf::probability`]: the same
+    /// fragment-parallel pass in certified [`ErrorInterval`] arithmetic.
+    /// The returned interval is guaranteed to contain the exact rational
+    /// answer, and — like every pass here — it is *identical at every
+    /// thread count*: each gate's interval depends only on its input gates'
+    /// intervals and the fixed operand order, and parallelism only changes
+    /// which thread computes a gate, never the gate's inputs.
+    pub fn probability_interval(
+        &self,
+        prob: &(dyn Fn(usize) -> ErrorInterval + Sync),
+        threads: usize,
+    ) -> ErrorInterval {
+        run_pass(
+            self.structured.dnnf().circuit(),
+            &self.partition,
+            threads,
+            &IntervalProbabilityPass { prob },
+        )
+    }
+
+    /// The float fast-path of [`ParallelDnnf::wmc`], with the same
+    /// containment and thread-count-independence guarantees as
+    /// [`ParallelDnnf::probability_interval`].
+    pub fn wmc_interval(
+        &self,
+        pos: &(dyn Fn(usize) -> ErrorInterval + Sync),
+        neg: &(dyn Fn(usize) -> ErrorInterval + Sync),
+        threads: usize,
+    ) -> ErrorInterval {
+        run_pass(
+            self.structured.dnnf().circuit(),
+            &self.partition,
+            threads,
+            &IntervalWmcPass { pos, neg },
         )
     }
 }
@@ -776,6 +813,82 @@ impl GatePass for WmcPass<'_> {
     }
 }
 
+struct IntervalProbabilityPass<'a> {
+    prob: &'a (dyn Fn(VarId) -> ErrorInterval + Sync),
+}
+
+impl GatePass for IntervalProbabilityPass<'_> {
+    type Value = ErrorInterval;
+    fn constant(&self, value: bool) -> ErrorInterval {
+        if value {
+            ErrorInterval::one()
+        } else {
+            ErrorInterval::zero()
+        }
+    }
+    fn var(&self, v: VarId) -> ErrorInterval {
+        (self.prob)(v)
+    }
+    fn not(
+        &self,
+        _circuit: &Circuit,
+        _inner: GateId,
+        inner_value: &ErrorInterval,
+    ) -> ErrorInterval {
+        inner_value.complement()
+    }
+    fn one(&self) -> ErrorInterval {
+        ErrorInterval::one()
+    }
+    fn zero(&self) -> ErrorInterval {
+        ErrorInterval::zero()
+    }
+    fn mul_assign(&self, acc: &mut ErrorInterval, x: &ErrorInterval) {
+        *acc = acc.mul(x);
+    }
+    fn add_assign(&self, acc: &mut ErrorInterval, x: &ErrorInterval) {
+        *acc = acc.add(x);
+    }
+}
+
+struct IntervalWmcPass<'a> {
+    pos: &'a (dyn Fn(VarId) -> ErrorInterval + Sync),
+    neg: &'a (dyn Fn(VarId) -> ErrorInterval + Sync),
+}
+
+impl GatePass for IntervalWmcPass<'_> {
+    type Value = ErrorInterval;
+    fn constant(&self, value: bool) -> ErrorInterval {
+        if value {
+            ErrorInterval::one()
+        } else {
+            ErrorInterval::zero()
+        }
+    }
+    fn var(&self, v: VarId) -> ErrorInterval {
+        (self.pos)(v)
+    }
+    fn not(&self, circuit: &Circuit, inner: GateId, _inner_value: &ErrorInterval) -> ErrorInterval {
+        match circuit.gate(inner) {
+            Gate::Var(v) => (self.neg)(*v),
+            Gate::Const(b) => self.constant(!b),
+            _ => unreachable!("d-SDNNFs negate inputs only"),
+        }
+    }
+    fn one(&self) -> ErrorInterval {
+        ErrorInterval::one()
+    }
+    fn zero(&self) -> ErrorInterval {
+        ErrorInterval::zero()
+    }
+    fn mul_assign(&self, acc: &mut ErrorInterval, x: &ErrorInterval) {
+        *acc = acc.mul(x);
+    }
+    fn add_assign(&self, acc: &mut ErrorInterval, x: &ErrorInterval) {
+        *acc = acc.add(x);
+    }
+}
+
 struct CountPass;
 
 impl GatePass for CountPass {
@@ -1005,6 +1118,31 @@ mod tests {
                 sequential.wmc(&prob, &neg)
             );
             assert_eq!(parallel.model_count(threads), sequential.model_count());
+        }
+    }
+
+    #[test]
+    fn interval_pass_contains_exact_and_is_thread_count_invariant() {
+        let automaton = treelineage_automata::parity_automaton(2);
+        let u = big_comb(500);
+        let config = EngineConfig::with_threads(4);
+        let parallel = compile_structured_dnnf_parallel(&automaton, &u, &config).unwrap();
+        let prob = |e: usize| Rational::from_ratio_u64(1, e as u64 % 7 + 2);
+        let neg = |e: usize| Rational::from_ratio_u64(1, e as u64 % 5 + 1);
+        let exact_p = parallel.probability(&prob, 1);
+        let exact_w = parallel.wmc(&prob, &neg, 1);
+        let iv = |f: &dyn Fn(usize) -> Rational, e: usize| ErrorInterval::from_rational(&f(e));
+        let base_p = parallel.probability_interval(&|e| iv(&prob, e), 1);
+        let base_w = parallel.wmc_interval(&|e| iv(&prob, e), &|e| iv(&neg, e), 1);
+        assert!(base_p.contains(&exact_p));
+        assert!(base_w.contains(&exact_w));
+        for threads in [2usize, 8] {
+            // Bit-identical endpoints at every thread count: the pass is
+            // per-gate deterministic, so parallelism cannot move a bound.
+            let p = parallel.probability_interval(&|e| iv(&prob, e), threads);
+            let w = parallel.wmc_interval(&|e| iv(&prob, e), &|e| iv(&neg, e), threads);
+            assert_eq!(p, base_p, "threads={threads}");
+            assert_eq!(w, base_w, "threads={threads}");
         }
     }
 

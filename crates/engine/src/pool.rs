@@ -13,52 +13,132 @@
 //! The no-external-deps rule rules out `rayon`/`crossbeam`; mutex-guarded
 //! deques are entirely sufficient here because tasks are coarse (hundreds of
 //! tree nodes or an entire request) and steals are rare next to task bodies.
+//!
+//! ## Panic containment
+//!
+//! Task bodies run under [`std::panic::catch_unwind`], and every internal
+//! lock goes through [`lock_recovering`]. This kills a failure cascade the
+//! previous version had: a panicking task unwound while holding no lock, but
+//! the panic escaped the worker thread and every *other* worker (and the
+//! caller, on the next session call) then hit `PoisonError` panics on the
+//! shared mutexes — one bad request poisoned the whole pool. Now a panic in
+//! task `i` is captured as that task's result: [`run_tasks`] re-raises the
+//! first captured payload on the caller thread (same observable behaviour as
+//! sequential execution, no poisoning side effects), and
+//! [`run_tasks_catching`] hands the panics back as per-task `Err` values so
+//! a session can fail one request while serving the rest.
 
+use std::any::Any;
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, MutexGuard};
+
+/// Locks a mutex, recovering the guard when a previous holder panicked.
+///
+/// All engine state guarded by mutexes (work deques, result slots, session
+/// caches) is kept consistent across unwinds — writers only replace whole
+/// values, never leave partial updates — so the poison flag carries no
+/// information here and propagating it would only turn one panic into an
+/// opaque cascade of `PoisonError` panics.
+pub(crate) fn lock_recovering<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Renders a captured panic payload as text (the common `&str` / `String`
+/// payloads are shown verbatim; anything else gets a placeholder).
+pub(crate) fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+type TaskResult<T> = Result<T, Box<dyn Any + Send>>;
 
 /// Runs `count` independent tasks on up to `threads` workers and returns
 /// their results in task order. `job(i)` computes task `i`; tasks must not
 /// depend on each other. With `threads <= 1` (or a single task) everything
 /// runs inline on the caller's thread — the scheduler adds zero overhead to
 /// the sequential path.
+///
+/// If a task panics, the remaining tasks still run to completion and the
+/// first panic (in task order) is re-raised on the caller's thread with its
+/// original payload; no mutex poisoning escapes.
 pub(crate) fn run_tasks<T, F>(threads: usize, count: usize, job: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    let mut out = Vec::with_capacity(count);
+    for result in run_tasks_impl(threads, count, job) {
+        match result {
+            Ok(v) => out.push(v),
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+    out
+}
+
+/// Like [`run_tasks`], but panics become per-task `Err` values (rendered to
+/// text) instead of unwinding the caller: the session layer maps these to
+/// typed `EngineError::WorkerPanicked` results so one malformed request in a
+/// batch cannot take down its neighbours or the session.
+pub(crate) fn run_tasks_catching<T, F>(
+    threads: usize,
+    count: usize,
+    job: F,
+) -> Vec<Result<T, String>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_tasks_impl(threads, count, job)
+        .into_iter()
+        .map(|r| r.map_err(|payload| panic_message(payload.as_ref())))
+        .collect()
+}
+
+fn run_tasks_impl<T, F>(threads: usize, count: usize, job: F) -> Vec<TaskResult<T>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let guarded = |i: usize| catch_unwind(AssertUnwindSafe(|| job(i)));
     if threads <= 1 || count <= 1 {
-        return (0..count).map(job).collect();
+        return (0..count).map(guarded).collect();
     }
     let workers = threads.min(count);
     // Deal tasks round-robin so every worker starts with a share.
     let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
         .map(|w| Mutex::new((w..count).step_by(workers).collect()))
         .collect();
-    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<TaskResult<T>>>> = (0..count).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for w in 0..workers {
             let deques = &deques;
             let slots = &slots;
-            let job = &job;
+            let guarded = &guarded;
             scope.spawn(move || loop {
                 // Own work first (LIFO keeps the most recently dealt — and
                 // most likely cache-resident — indices hot)...
-                let mut task = deques[w].lock().unwrap().pop_back();
+                let mut task = lock_recovering(&deques[w]).pop_back();
                 if task.is_none() {
                     // ...then steal the *oldest* task of the most loaded
                     // victim, the one its owner would reach last.
                     let victim = (0..workers)
                         .filter(|&v| v != w)
-                        .max_by_key(|&v| deques[v].lock().unwrap().len());
+                        .max_by_key(|&v| lock_recovering(&deques[v]).len());
                     if let Some(v) = victim {
-                        task = deques[v].lock().unwrap().pop_front();
+                        task = lock_recovering(&deques[v]).pop_front();
                     }
                 }
                 match task {
                     Some(i) => {
-                        let result = job(i);
-                        *slots[i].lock().unwrap() = Some(result);
+                        let result = guarded(i);
+                        *lock_recovering(&slots[i]) = Some(result);
                     }
                     None => break,
                 }
@@ -68,8 +148,8 @@ where
     slots
         .into_iter()
         .map(|slot| {
-            slot.into_inner()
-                .unwrap()
+            lock_recovering(&slot)
+                .take()
                 .expect("every task index was dealt to exactly one deque")
         })
         .collect()
@@ -115,5 +195,61 @@ mod tests {
     fn zero_and_one_tasks() {
         assert!(run_tasks(4, 0, |i| i).is_empty());
         assert_eq!(run_tasks(4, 1, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn panicking_task_does_not_poison_the_rest() {
+        // One bad task out of 16: the others must all complete, the bad one
+        // must come back as a typed error, and the original message must
+        // survive — no secondary PoisonError panics anywhere.
+        let out = run_tasks_catching(4, 16, |i| {
+            if i == 5 {
+                panic!("task {i} exploded");
+            }
+            i * 10
+        });
+        for (i, r) in out.iter().enumerate() {
+            if i == 5 {
+                assert_eq!(r.as_ref().unwrap_err(), "task 5 exploded");
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i * 10);
+            }
+        }
+    }
+
+    #[test]
+    fn run_tasks_reraises_the_panic_once() {
+        let caught = std::panic::catch_unwind(|| {
+            run_tasks(4, 8, |i| {
+                if i == 3 {
+                    panic!("original payload");
+                }
+                i
+            })
+        });
+        let payload = caught.unwrap_err();
+        assert_eq!(panic_message(payload.as_ref()), "original payload");
+    }
+
+    #[test]
+    fn pool_stays_usable_after_a_panic() {
+        // A panicking run followed by a clean run on the same thread: the
+        // second run must behave normally (nothing static was poisoned).
+        let _ = run_tasks_catching(4, 8, |i| if i == 0 { panic!("boom") } else { i });
+        let out = run_tasks(4, 8, |i| i + 1);
+        assert_eq!(out, (1..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lock_recovering_recovers_poisoned_mutexes() {
+        let m = Mutex::new(41);
+        // Poison it.
+        let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _guard = m.lock().unwrap();
+            panic!("poison");
+        }));
+        assert!(m.is_poisoned());
+        *lock_recovering(&m) += 1;
+        assert_eq!(*lock_recovering(&m), 42);
     }
 }

@@ -33,10 +33,11 @@
 //! would have produced (pinned by the umbrella
 //! `tests/parallel_differential.rs`).
 
+use crate::approx::karp_luby_probability;
 use crate::parallel::ParallelDnnf;
-use crate::pool::run_tasks;
+use crate::pool::{lock_recovering, run_tasks, run_tasks_catching};
 use crate::{variable_order_from_decomposition, EngineConfig};
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use treelineage_dd::Manager;
@@ -45,7 +46,7 @@ use treelineage_encoding::{
 };
 use treelineage_graph::TreeDecomposition;
 use treelineage_instance::{FactId, Instance, ProbabilityValuation};
-use treelineage_num::{BigUint, Rational};
+use treelineage_num::{BigUint, ErrorInterval, Rational};
 use treelineage_query::{matching, UnionOfConjunctiveQueries};
 
 /// Handle to an instance registered with an [`EvalSession`].
@@ -68,6 +69,15 @@ pub enum SessionBackend {
     /// registered instance, query lineages compiled from their matches into
     /// the shard and looked up by root node on later requests.
     SharedDd,
+    /// The automaton pipeline with the certified-f64 serving policy:
+    /// [`EvalSession::batch_threshold`] answers from the interval fast-path
+    /// (falling back to exact rationals only when the threshold lands
+    /// inside the interval), and (query, instance) pairs whose compilation
+    /// blows the state budget degrade to the Karp–Luby estimator with the
+    /// session's `(ε, δ)` instead of failing. The exact-rational batch
+    /// methods are unchanged under this backend — float-first is a *serving
+    /// policy*, not a different compilation pipeline.
+    FloatFirst,
 }
 
 /// Errors reported per request by the batch methods. Requests that share a
@@ -84,6 +94,10 @@ pub enum EngineError {
     /// Provenance extraction failed (internal: the encoder's invariants
     /// should rule this out).
     Provenance(String),
+    /// The worker task serving this request panicked (carrying the panic
+    /// message). The panic is contained to the request: other requests of
+    /// the batch and the session itself stay fully usable.
+    WorkerPanicked(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -93,6 +107,7 @@ impl std::fmt::Display for EngineError {
             EngineError::Encoding(e) => write!(f, "tree encoding failed: {e}"),
             EngineError::QueryCompile(e) => write!(f, "query compilation failed: {e}"),
             EngineError::Provenance(e) => write!(f, "provenance compilation failed: {e}"),
+            EngineError::WorkerPanicked(e) => write!(f, "worker task panicked: {e}"),
         }
     }
 }
@@ -125,6 +140,51 @@ pub struct WmcRequest {
     pub neg: Vec<Rational>,
 }
 
+/// A threshold request: decide whether the probability of `query` on
+/// `instance` exceeds `threshold`, letting the session pick the cheapest
+/// tier that can answer soundly (see [`EvalSession::batch_threshold`]).
+#[derive(Clone, Debug)]
+pub struct ThresholdRequest {
+    /// The registered query.
+    pub query: QueryId,
+    /// The registered instance.
+    pub instance: InstanceId,
+    /// Per-fact probabilities (must cover every fact of the instance).
+    pub valuation: ProbabilityValuation,
+    /// The decision threshold compared against the exact probability.
+    pub threshold: Rational,
+}
+
+/// Which evaluation tier produced a [`ThresholdDecision`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DecisionTier {
+    /// The certified f64 interval pass alone decided (the threshold lay
+    /// strictly outside the interval).
+    Float,
+    /// Exact rational evaluation (the only tier on exact backends; the
+    /// fallback on [`SessionBackend::FloatFirst`] when the threshold lands
+    /// inside the interval).
+    Exact,
+    /// The Karp–Luby estimator (compile budget exceeded under
+    /// [`SessionBackend::FloatFirst`]); the decision is probabilistic.
+    MonteCarlo,
+}
+
+/// The outcome of a [`ThresholdRequest`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ThresholdDecision {
+    /// `true` iff the query probability exceeds the request's threshold
+    /// (for [`DecisionTier::MonteCarlo`]: iff the estimate does).
+    pub above: bool,
+    /// The tier that produced the decision.
+    pub tier: DecisionTier,
+    /// The enclosure the decision was made from: certified for
+    /// [`DecisionTier::Float`], exact (degenerate or optimal-bracket) for
+    /// [`DecisionTier::Exact`], probabilistic `(ε, δ)` for
+    /// [`DecisionTier::MonteCarlo`].
+    pub interval: ErrorInterval,
+}
+
 /// Cache effectiveness counters of an [`EvalSession`] (monotone since the
 /// session was created).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -141,6 +201,13 @@ pub struct SessionStats {
     pub encodings_built: usize,
     /// dd-shard lineage roots compiled (SharedDd backend misses).
     pub dd_roots_built: usize,
+    /// Threshold requests decided by the float interval pass alone.
+    pub float_decisions: usize,
+    /// Threshold requests that fell back to exact rational evaluation.
+    pub exact_fallbacks: usize,
+    /// Requests served by the Karp–Luby estimator (budget-exceeded
+    /// degradation under [`SessionBackend::FloatFirst`]).
+    pub monte_carlo_fallbacks: usize,
 }
 
 #[derive(Default)]
@@ -151,14 +218,22 @@ struct Counters {
     machines_built: AtomicUsize,
     encodings_built: AtomicUsize,
     dd_roots_built: AtomicUsize,
+    float_decisions: AtomicUsize,
+    exact_fallbacks: AtomicUsize,
+    monte_carlo_fallbacks: AtomicUsize,
 }
 
-/// An insertion-ordered map with a capacity cap: inserting past the cap
-/// evicts the oldest entry (enough LRU-ness for compile caches whose
-/// entries are all equally valid).
+/// A capacity-capped map with true LRU eviction: every hit refreshes the
+/// entry's recency stamp, and inserting past the cap evicts the least
+/// recently *used* entry. (The previous version evicted in pure insertion
+/// order, so a hot (query, instance) pair registered first was evicted
+/// while cold later entries survived — the opposite of what a serving cache
+/// wants.) Recency is a monotone stamp per entry; eviction scans for the
+/// minimum stamp, which is linear but negligible against the compile work a
+/// single eviction implies at the configured cache caps.
 struct CacheMap<K: Ord + Clone, V: Clone> {
-    map: BTreeMap<K, V>,
-    order: VecDeque<K>,
+    map: BTreeMap<K, (V, u64)>,
+    stamp: u64,
     cap: usize,
 }
 
@@ -166,22 +241,31 @@ impl<K: Ord + Clone, V: Clone> CacheMap<K, V> {
     fn new(cap: usize) -> Self {
         CacheMap {
             map: BTreeMap::new(),
-            order: VecDeque::new(),
+            stamp: 0,
             cap: cap.max(1),
         }
     }
 
-    fn get(&self, key: &K) -> Option<V> {
-        self.map.get(key).cloned()
+    fn get(&mut self, key: &K) -> Option<V> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        self.map.get_mut(key).map(|(value, last_used)| {
+            *last_used = stamp;
+            value.clone()
+        })
     }
 
     fn insert(&mut self, key: K, value: V) {
-        if self.map.insert(key.clone(), value).is_none() {
-            self.order.push_back(key);
-        }
+        self.stamp += 1;
+        self.map.insert(key, (value, self.stamp));
         while self.map.len() > self.cap {
-            let oldest = self.order.pop_front().expect("order tracks map");
-            self.map.remove(&oldest);
+            let coldest = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, last_used))| *last_used)
+                .map(|(k, _)| k.clone())
+                .expect("map is non-empty past the cap");
+            self.map.remove(&coldest);
         }
     }
 }
@@ -224,9 +308,16 @@ pub struct EvalSession {
 type MachineCache = CacheMap<(usize, usize), Arc<Mutex<CompiledQuery>>>;
 
 impl EvalSession {
-    /// Creates a session over the default [`SessionBackend::Automaton`].
+    /// Creates a session over the default [`SessionBackend::Automaton`],
+    /// or [`SessionBackend::FloatFirst`] when the config sets
+    /// [`EngineConfig::float_first`].
     pub fn new(config: EngineConfig) -> Self {
-        EvalSession::with_backend(config, SessionBackend::default())
+        let backend = if config.float_first {
+            SessionBackend::FloatFirst
+        } else {
+            SessionBackend::default()
+        };
+        EvalSession::with_backend(config, backend)
     }
 
     /// Creates a session serving requests from the given backend.
@@ -312,6 +403,9 @@ impl EvalSession {
             machines_built: self.counters.machines_built.load(Ordering::Relaxed),
             encodings_built: self.counters.encodings_built.load(Ordering::Relaxed),
             dd_roots_built: self.counters.dd_roots_built.load(Ordering::Relaxed),
+            float_decisions: self.counters.float_decisions.load(Ordering::Relaxed),
+            exact_fallbacks: self.counters.exact_fallbacks.load(Ordering::Relaxed),
+            monte_carlo_fallbacks: self.counters.monte_carlo_fallbacks.load(Ordering::Relaxed),
         }
     }
 
@@ -319,6 +413,16 @@ impl EvalSession {
     /// deduplicated (each distinct (query, instance) pair compiles at most
     /// once, then hits the session cache on later batches); compiles and
     /// evaluations run concurrently on the configured thread count.
+    ///
+    /// Always exact — under [`SessionBackend::FloatFirst`] the approximate
+    /// tiers serve [`EvalSession::batch_threshold`] and
+    /// [`EvalSession::batch_probability_f64`]; a caller asking for the
+    /// exact rational gets the exact rational.
+    ///
+    /// A panic inside one request's evaluation (e.g. a valuation that does
+    /// not cover the instance) is contained to that request as
+    /// [`EngineError::WorkerPanicked`]; the rest of the batch and the
+    /// session itself stay usable.
     pub fn batch_probability(
         &self,
         requests: &[ProbabilityRequest],
@@ -326,63 +430,271 @@ impl EvalSession {
         self.counters
             .requests
             .fetch_add(requests.len(), Ordering::Relaxed);
-        for r in requests {
-            assert_eq!(
-                r.valuation.len(),
-                self.instances[r.instance.0].instance.fact_count(),
-                "valuation must cover every fact of the instance"
-            );
-        }
         match self.backend {
-            SessionBackend::Automaton => {
+            SessionBackend::Automaton | SessionBackend::FloatFirst => {
                 let artifacts =
                     self.compile_pairs(requests.iter().map(|r| (r.query.0, r.instance.0)));
                 let eval_threads = self.eval_threads(requests.len());
-                run_tasks(self.config.threads, requests.len(), |i| {
-                    let r = &requests[i];
-                    let lineage = artifacts[&(r.query.0, r.instance.0)].clone()?;
-                    Ok(lineage.probability(
-                        &|v| r.valuation.probability(FactId(v)).clone(),
-                        eval_threads,
-                    ))
-                })
+                Self::flatten_caught(run_tasks_catching(
+                    self.config.threads,
+                    requests.len(),
+                    |i| {
+                        let r = &requests[i];
+                        self.check_valuation(r.instance, &r.valuation);
+                        let lineage = artifacts[&(r.query.0, r.instance.0)].clone()?;
+                        Ok(lineage.probability(
+                            &|v| r.valuation.probability(FactId(v)).clone(),
+                            eval_threads,
+                        ))
+                    },
+                ))
             }
-            SessionBackend::SharedDd => run_tasks(self.config.threads, requests.len(), |i| {
-                let r = &requests[i];
-                self.dd_evaluate(r.query.0, r.instance.0, |manager, root| {
-                    manager.probability(root, &|v| r.valuation.probability(FactId(v)).clone())
-                })
-            }),
+            SessionBackend::SharedDd => Self::flatten_caught(run_tasks_catching(
+                self.config.threads,
+                requests.len(),
+                |i| {
+                    let r = &requests[i];
+                    self.check_valuation(r.instance, &r.valuation);
+                    self.dd_evaluate(r.query.0, r.instance.0, |manager, root| {
+                        manager.probability(root, &|v| r.valuation.probability(FactId(v)).clone())
+                    })
+                },
+            )),
         }
+    }
+
+    /// Asserts that a request's valuation covers its instance. Runs inside
+    /// the worker job, so a violation becomes that request's
+    /// [`EngineError::WorkerPanicked`] instead of tearing down the batch.
+    fn check_valuation(&self, instance: InstanceId, valuation: &ProbabilityValuation) {
+        assert_eq!(
+            valuation.len(),
+            self.instances[instance.0].instance.fact_count(),
+            "valuation must cover every fact of the instance"
+        );
+    }
+
+    /// Converts caught worker panics into per-request typed errors.
+    fn flatten_caught<T>(
+        results: Vec<Result<Result<T, EngineError>, String>>,
+    ) -> Vec<Result<T, EngineError>> {
+        results
+            .into_iter()
+            .map(|r| match r {
+                Ok(inner) => inner,
+                Err(message) => Err(EngineError::WorkerPanicked(message)),
+            })
+            .collect()
     }
 
     /// Evaluates a batch of general weighted-model-count requests. Always
     /// served from the automaton backend's smooth d-SDNNF (one pass per
-    /// request), mirroring how the core evaluator routes WMC.
+    /// request), mirroring how the core evaluator routes WMC. Panics are
+    /// contained per request as in [`EvalSession::batch_probability`].
     pub fn batch_wmc(&self, requests: &[WmcRequest]) -> Vec<Result<Rational, EngineError>> {
         self.counters
             .requests
             .fetch_add(requests.len(), Ordering::Relaxed);
-        for r in requests {
-            let facts = self.instances[r.instance.0].instance.fact_count();
-            assert_eq!(
-                r.pos.len(),
-                facts,
-                "pos weights must cover every fact of the instance"
-            );
-            assert_eq!(
-                r.neg.len(),
-                facts,
-                "neg weights must cover every fact of the instance"
-            );
-        }
         let artifacts = self.compile_pairs(requests.iter().map(|r| (r.query.0, r.instance.0)));
         let eval_threads = self.eval_threads(requests.len());
-        run_tasks(self.config.threads, requests.len(), |i| {
-            let r = &requests[i];
-            let lineage = artifacts[&(r.query.0, r.instance.0)].clone()?;
-            Ok(lineage.wmc(&|v| r.pos[v].clone(), &|v| r.neg[v].clone(), eval_threads))
-        })
+        Self::flatten_caught(run_tasks_catching(
+            self.config.threads,
+            requests.len(),
+            |i| {
+                let r = &requests[i];
+                let facts = self.instances[r.instance.0].instance.fact_count();
+                assert_eq!(
+                    r.pos.len(),
+                    facts,
+                    "pos weights must cover every fact of the instance"
+                );
+                assert_eq!(
+                    r.neg.len(),
+                    facts,
+                    "neg weights must cover every fact of the instance"
+                );
+                let lineage = artifacts[&(r.query.0, r.instance.0)].clone()?;
+                Ok(lineage.wmc(&|v| r.pos[v].clone(), &|v| r.neg[v].clone(), eval_threads))
+            },
+        ))
+    }
+
+    /// The float fast-path: evaluates a batch of probability requests with
+    /// one certified-interval f64 pass per request, returning the point
+    /// estimate (interval midpoint) together with the [`ErrorInterval`]
+    /// guaranteed to contain the exact rational answer. The pass is linear
+    /// in the circuit size with `f64` gate operations — on eval-bound
+    /// workloads this is more than an order of magnitude cheaper than the
+    /// exact rational pass (see `benches/approx_eval.rs`).
+    ///
+    /// Under [`SessionBackend::FloatFirst`], a (query, instance) pair whose
+    /// compilation exceeds the state budget degrades to the Karp–Luby
+    /// estimator with the session's `(ε, δ)`; its interval is then the
+    /// *probabilistic* `(ε, δ)` bound, not a certified enclosure.
+    pub fn batch_probability_f64(
+        &self,
+        requests: &[ProbabilityRequest],
+    ) -> Vec<Result<(f64, ErrorInterval), EngineError>> {
+        self.counters
+            .requests
+            .fetch_add(requests.len(), Ordering::Relaxed);
+        let artifacts = self.compile_pairs(requests.iter().map(|r| (r.query.0, r.instance.0)));
+        let eval_threads = self.eval_threads(requests.len());
+        Self::flatten_caught(run_tasks_catching(
+            self.config.threads,
+            requests.len(),
+            |i| {
+                let r = &requests[i];
+                self.check_valuation(r.instance, &r.valuation);
+                match &artifacts[&(r.query.0, r.instance.0)] {
+                    Ok(lineage) => {
+                        let interval = lineage.probability_interval(
+                            &|v| ErrorInterval::from_rational(r.valuation.probability(FactId(v))),
+                            eval_threads,
+                        );
+                        Ok((interval.midpoint(), interval))
+                    }
+                    Err(e) => match self.monte_carlo(r, e) {
+                        Some(estimate) => Ok(estimate),
+                        None => Err(e.clone()),
+                    },
+                }
+            },
+        ))
+    }
+
+    /// Decides a batch of threshold requests, picking the cheapest sound
+    /// tier per request (see [`ThresholdRequest`] / [`DecisionTier`]):
+    ///
+    /// * on [`SessionBackend::FloatFirst`]: the certified f64 interval pass
+    ///   decides when the threshold lies strictly outside the interval
+    ///   ([`DecisionTier::Float`]); otherwise the request falls back to the
+    ///   exact rational pass ([`DecisionTier::Exact`]) — so the decision is
+    ///   always *bit-identical* to what an exact backend would return (the
+    ///   containment contract `exact ∈ interval` makes the float answer
+    ///   sound whenever it is used). Pairs whose compilation blows the
+    ///   state budget degrade to Karp–Luby ([`DecisionTier::MonteCarlo`]),
+    ///   the only probabilistic tier.
+    /// * on the exact backends: every request is decided exactly.
+    pub fn batch_threshold(
+        &self,
+        requests: &[ThresholdRequest],
+    ) -> Vec<Result<ThresholdDecision, EngineError>> {
+        self.counters
+            .requests
+            .fetch_add(requests.len(), Ordering::Relaxed);
+        if self.backend == SessionBackend::SharedDd {
+            return Self::flatten_caught(run_tasks_catching(
+                self.config.threads,
+                requests.len(),
+                |i| {
+                    let r = &requests[i];
+                    self.check_valuation(r.instance, &r.valuation);
+                    let exact = self.dd_evaluate(r.query.0, r.instance.0, |manager, root| {
+                        manager.probability(root, &|v| r.valuation.probability(FactId(v)).clone())
+                    })?;
+                    self.counters
+                        .exact_fallbacks
+                        .fetch_add(1, Ordering::Relaxed);
+                    Ok(Self::exact_decision(&exact, &r.threshold))
+                },
+            ));
+        }
+        let float_first = self.backend == SessionBackend::FloatFirst;
+        let artifacts = self.compile_pairs(requests.iter().map(|r| (r.query.0, r.instance.0)));
+        let eval_threads = self.eval_threads(requests.len());
+        Self::flatten_caught(run_tasks_catching(
+            self.config.threads,
+            requests.len(),
+            |i| {
+                let r = &requests[i];
+                self.check_valuation(r.instance, &r.valuation);
+                let lineage = match &artifacts[&(r.query.0, r.instance.0)] {
+                    Ok(lineage) => lineage,
+                    Err(e) => {
+                        let as_probability = ProbabilityRequest {
+                            query: r.query,
+                            instance: r.instance,
+                            valuation: r.valuation.clone(),
+                        };
+                        return match self.monte_carlo(&as_probability, e) {
+                            Some((estimate, interval)) => Ok(ThresholdDecision {
+                                above: estimate > r.threshold.to_f64(),
+                                tier: DecisionTier::MonteCarlo,
+                                interval,
+                            }),
+                            None => Err(e.clone()),
+                        };
+                    }
+                };
+                if float_first {
+                    let interval = lineage.probability_interval(
+                        &|v| ErrorInterval::from_rational(r.valuation.probability(FactId(v))),
+                        eval_threads,
+                    );
+                    if let Some(order) = interval.compare_threshold(&r.threshold) {
+                        self.counters
+                            .float_decisions
+                            .fetch_add(1, Ordering::Relaxed);
+                        return Ok(ThresholdDecision {
+                            above: order == std::cmp::Ordering::Greater,
+                            tier: DecisionTier::Float,
+                            interval,
+                        });
+                    }
+                }
+                let exact = lineage.probability(
+                    &|v| r.valuation.probability(FactId(v)).clone(),
+                    eval_threads,
+                );
+                self.counters
+                    .exact_fallbacks
+                    .fetch_add(1, Ordering::Relaxed);
+                Ok(Self::exact_decision(&exact, &r.threshold))
+            },
+        ))
+    }
+
+    /// The exact tier's decision for a computed probability.
+    fn exact_decision(exact: &Rational, threshold: &Rational) -> ThresholdDecision {
+        ThresholdDecision {
+            above: exact > threshold,
+            tier: DecisionTier::Exact,
+            interval: ErrorInterval::from_rational(exact),
+        }
+    }
+
+    /// The Karp–Luby degradation path: serves a request whose exact
+    /// compilation failed on the state budget, when the session is
+    /// float-first. Returns `None` when the error is not a budget blowout
+    /// or the session is exact-only (the caller then surfaces the original
+    /// error). Seeded deterministically per (query, instance) pair.
+    fn monte_carlo(
+        &self,
+        r: &ProbabilityRequest,
+        error: &EngineError,
+    ) -> Option<(f64, ErrorInterval)> {
+        let budget_exceeded = matches!(
+            error,
+            EngineError::QueryCompile(CompileError::StateBudget { .. })
+        );
+        let float_first = self.backend == SessionBackend::FloatFirst || self.config.float_first;
+        if !budget_exceeded || !float_first {
+            return None;
+        }
+        self.counters
+            .monte_carlo_fallbacks
+            .fetch_add(1, Ordering::Relaxed);
+        let seed = 0x9E37_79B9_7F4A_7C15u64 ^ ((r.query.0 as u64) << 32) ^ r.instance.0 as u64;
+        let estimate = karp_luby_probability(
+            &self.queries[r.query.0],
+            &self.instances[r.instance.0].instance,
+            &r.valuation,
+            self.config.epsilon,
+            self.config.delta,
+            seed,
+        );
+        Some((estimate.estimate, estimate.interval()))
     }
 
     /// Evaluates a batch of model-count requests (number of satisfying
@@ -396,7 +708,7 @@ impl EvalSession {
             .requests
             .fetch_add(requests.len(), Ordering::Relaxed);
         match self.backend {
-            SessionBackend::Automaton => {
+            SessionBackend::Automaton | SessionBackend::FloatFirst => {
                 let artifacts = self.compile_pairs(requests.iter().map(|&(q, i)| (q.0, i.0)));
                 let unique: Vec<(usize, usize)> = artifacts.keys().copied().collect();
                 let eval_threads = self.eval_threads(unique.len());
@@ -475,16 +787,14 @@ impl EvalSession {
         instance: usize,
         pool_threads: usize,
     ) -> Result<Arc<ParallelDnnf>, EngineError> {
-        if let Some(hit) = self.lineages.lock().unwrap().get(&(query, instance)) {
+        if let Some(hit) = lock_recovering(&self.lineages).get(&(query, instance)) {
             self.counters.lineage_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(hit);
         }
         self.counters.lineage_misses.fetch_add(1, Ordering::Relaxed);
         let encoding = self.encoding(instance)?;
         let machine = self.machine(query, encoding.alphabet().width())?;
-        let automaton = machine
-            .lock()
-            .unwrap()
+        let automaton = lock_recovering(&machine)
             .automaton_for(encoding.tree())
             .map_err(EngineError::QueryCompile)?;
         let compiled = crate::parallel::compile_with_pool(
@@ -495,17 +805,14 @@ impl EvalSession {
         )
         .map_err(|e| EngineError::Provenance(e.to_string()))?;
         let arc = Arc::new(compiled);
-        self.lineages
-            .lock()
-            .unwrap()
-            .insert((query, instance), arc.clone());
+        lock_recovering(&self.lineages).insert((query, instance), arc.clone());
         Ok(arc)
     }
 
     /// The instance's tree encoding, built on first use.
     fn encoding(&self, instance: usize) -> Result<Arc<TreeEncoding>, EngineError> {
         let entry = &self.instances[instance];
-        let mut slot = entry.encoding.lock().unwrap();
+        let mut slot = lock_recovering(&entry.encoding);
         if let Some(encoding) = slot.as_ref() {
             return Ok(encoding.clone());
         }
@@ -529,7 +836,7 @@ impl EvalSession {
         query: usize,
         width: usize,
     ) -> Result<Arc<Mutex<CompiledQuery>>, EngineError> {
-        if let Some(hit) = self.machines.lock().unwrap().get(&(query, width)) {
+        if let Some(hit) = lock_recovering(&self.machines).get(&(query, width)) {
             return Ok(hit);
         }
         self.counters.machines_built.fetch_add(1, Ordering::Relaxed);
@@ -542,10 +849,7 @@ impl EvalSession {
         let machine = compile_ucq(&self.queries[query], &alphabet, options)
             .map_err(EngineError::QueryCompile)?;
         let arc = Arc::new(Mutex::new(machine));
-        self.machines
-            .lock()
-            .unwrap()
-            .insert((query, width), arc.clone());
+        lock_recovering(&self.machines).insert((query, width), arc.clone());
         Ok(arc)
     }
 
@@ -560,7 +864,7 @@ impl EvalSession {
         eval: impl FnOnce(&Manager, treelineage_dd::NodeId) -> T,
     ) -> Result<T, EngineError> {
         let entry = &self.instances[instance];
-        let mut slot = entry.dd.lock().unwrap();
+        let mut slot = lock_recovering(&entry.dd);
         let shard = slot.get_or_insert_with(|| {
             let mut order =
                 variable_order_from_decomposition(&entry.instance, &entry.decomposition);
@@ -757,5 +1061,187 @@ mod tests {
         let result =
             session.register_instance_with_decomposition(chain(2), TreeDecomposition::new());
         assert!(matches!(result, Err(EngineError::InvalidDecomposition(_))));
+    }
+
+    #[test]
+    fn lru_cache_keeps_hot_entries_across_churn() {
+        // A repeatedly-hit entry must survive cap-sized churn of cold
+        // entries (the old insertion-order eviction dropped it first).
+        let mut cache: CacheMap<usize, usize> = CacheMap::new(3);
+        cache.insert(0, 100); // the hot entry, registered first
+        for cold in 1..20 {
+            cache.insert(cold, cold);
+            assert_eq!(cache.get(&0), Some(100), "hot entry evicted at {cold}");
+        }
+        // The cold entries churned: only the most recent survive.
+        assert_eq!(cache.get(&1), None);
+        assert_eq!(cache.get(&19), Some(19));
+    }
+
+    #[test]
+    fn panicking_request_leaves_session_usable() {
+        let (session, q, i) = session_with(SessionBackend::Automaton);
+        let good = ProbabilityValuation::uniform(session.instance(i), Rational::one_half());
+        // A valuation over the wrong instance: too short, so the worker
+        // task serving this request panics on the coverage assertion.
+        let bad = ProbabilityValuation::uniform(&chain(1), Rational::one_half());
+        let mut requests: Vec<ProbabilityRequest> = (0..4)
+            .map(|_| ProbabilityRequest {
+                query: q,
+                instance: i,
+                valuation: good.clone(),
+            })
+            .collect();
+        requests[2].valuation = bad;
+        let results = session.batch_probability(&requests);
+        assert!(matches!(results[2], Err(EngineError::WorkerPanicked(_))));
+        for (k, r) in results.iter().enumerate() {
+            if k != 2 {
+                assert!(r.is_ok(), "request {k} should have survived");
+            }
+        }
+        // The session (its caches, locks, and pool) stays fully usable.
+        let clean = session.batch_probability(&requests[..2]);
+        assert_eq!(clean[0], results[0]);
+        assert_eq!(clean[1], results[1]);
+    }
+
+    #[test]
+    fn float_interval_contains_exact_probability() {
+        let (session, q, i) = session_with(SessionBackend::FloatFirst);
+        let n = session.instance(i).fact_count();
+        let probs: Vec<Rational> = (0..n)
+            .map(|f| Rational::from_ratio_u64(1, (f as u64 % 3) + 2))
+            .collect();
+        let valuation = ProbabilityValuation::from_probabilities(session.instance(i), probs);
+        let request = ProbabilityRequest {
+            query: q,
+            instance: i,
+            valuation,
+        };
+        let exact = session.batch_probability(std::slice::from_ref(&request))[0]
+            .clone()
+            .unwrap();
+        let (estimate, interval) = session.batch_probability_f64(std::slice::from_ref(&request))[0]
+            .clone()
+            .unwrap();
+        assert!(interval.contains(&exact));
+        assert!(interval.contains_f64(estimate));
+        assert!(interval.width() < 1e-12);
+    }
+
+    #[test]
+    fn float_first_threshold_decisions_match_exact_backend() {
+        let (float, qf, inf) = session_with(SessionBackend::FloatFirst);
+        let (exact, qe, ine) = session_with(SessionBackend::Automaton);
+        let valuation =
+            ProbabilityValuation::uniform(float.instance(inf), Rational::from_ratio_u64(1, 3));
+        let p = exact.batch_probability(&[ProbabilityRequest {
+            query: qe,
+            instance: ine,
+            valuation: valuation.clone(),
+        }])[0]
+            .clone()
+            .unwrap();
+        // Thresholds: clearly below, clearly above, and exactly the answer
+        // (which always lands inside the interval → exact fallback).
+        let thresholds = [
+            Rational::from_ratio_u64(1, 1000),
+            Rational::from_ratio_u64(999, 1000),
+            p.clone(),
+        ];
+        let make = |q: QueryId, i: InstanceId| -> Vec<ThresholdRequest> {
+            thresholds
+                .iter()
+                .map(|t| ThresholdRequest {
+                    query: q,
+                    instance: i,
+                    valuation: valuation.clone(),
+                    threshold: t.clone(),
+                })
+                .collect()
+        };
+        let fast = float.batch_threshold(&make(qf, inf));
+        let slow = exact.batch_threshold(&make(qe, ine));
+        for (f, s) in fast.iter().zip(&slow) {
+            // Bit-identical decisions regardless of which tier answered.
+            assert_eq!(f.as_ref().unwrap().above, s.as_ref().unwrap().above);
+        }
+        // The clear thresholds were served from the float pass; the
+        // exact-answer threshold fell back to the exact tier.
+        assert_eq!(fast[0].as_ref().unwrap().tier, DecisionTier::Float);
+        assert_eq!(fast[1].as_ref().unwrap().tier, DecisionTier::Float);
+        assert_eq!(fast[2].as_ref().unwrap().tier, DecisionTier::Exact);
+        assert_eq!(float.stats().float_decisions, 2);
+        assert_eq!(float.stats().exact_fallbacks, 1);
+        // The exact backend only has the exact tier.
+        assert!(slow
+            .iter()
+            .all(|d| d.as_ref().unwrap().tier == DecisionTier::Exact));
+    }
+
+    #[test]
+    fn budget_blowout_degrades_to_monte_carlo_under_float_first() {
+        // A state budget of 1 is unsatisfiable for any real query: the
+        // exact pipeline fails with StateBudget, and the float-first
+        // session degrades to Karp–Luby instead of surfacing the error.
+        let config = EngineConfig {
+            state_budget: 1,
+            epsilon: 0.02,
+            delta: 0.02,
+            ..EngineConfig::default()
+        };
+        let mut session = EvalSession::with_backend(config, SessionBackend::FloatFirst);
+        let q = session.register_query(parse_query(&rst(), "R(x), S(x, y), T(y)").unwrap());
+        let i = session.register_instance(chain(2));
+        let valuation =
+            ProbabilityValuation::uniform(session.instance(i), Rational::from_ratio_u64(1, 3));
+        let request = ProbabilityRequest {
+            query: q,
+            instance: i,
+            valuation: valuation.clone(),
+        };
+        // The exact API still surfaces the compile error...
+        let exact_result = session.batch_probability(std::slice::from_ref(&request));
+        assert!(matches!(
+            exact_result[0],
+            Err(EngineError::QueryCompile(CompileError::StateBudget { .. }))
+        ));
+        // ...but the approximate APIs serve the request.
+        let (estimate, interval) = session.batch_probability_f64(std::slice::from_ref(&request))[0]
+            .clone()
+            .unwrap();
+        assert!(interval.contains_f64(estimate));
+        assert!(session.stats().monte_carlo_fallbacks >= 1);
+        let decision = session.batch_threshold(&[ThresholdRequest {
+            query: q,
+            instance: i,
+            valuation,
+            threshold: Rational::one_half(),
+        }])[0]
+            .clone()
+            .unwrap();
+        assert_eq!(decision.tier, DecisionTier::MonteCarlo);
+        // Sanity: the estimate agrees with an exact session on the same
+        // (query, instance, weights) triple.
+        let exact_session = {
+            let mut s = EvalSession::new(EngineConfig::default());
+            let q = s.register_query(parse_query(&rst(), "R(x), S(x, y), T(y)").unwrap());
+            let i = s.register_instance(chain(2));
+            let v = ProbabilityValuation::uniform(s.instance(i), Rational::from_ratio_u64(1, 3));
+            s.batch_probability(&[ProbabilityRequest {
+                query: q,
+                instance: i,
+                valuation: v,
+            }])[0]
+                .clone()
+                .unwrap()
+        };
+        let exact_f = exact_session.to_f64();
+        assert!(
+            (estimate - exact_f).abs() <= 0.02 * exact_f,
+            "Karp–Luby estimate {estimate} vs exact {exact_f}"
+        );
+        assert_eq!(decision.above, exact_f > 0.5);
     }
 }

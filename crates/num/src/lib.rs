@@ -9,7 +9,9 @@
 //!   as large as `2^{|I|}`),
 //! * [`BigInt`] — signed integers,
 //! * [`Rational`] — exact rationals in lowest terms (probabilities are given
-//!   as numerator/denominator pairs, footnote 1 of the paper).
+//!   as numerator/denominator pairs, footnote 1 of the paper),
+//! * [`ErrorInterval`] — certified `f64` enclosures of exact values, the
+//!   arithmetic behind the engine's float fast-path with exact fallback.
 //!
 //! The implementation is deliberately simple (schoolbook multiplication,
 //! binary long division): the experiments run on instances of a few thousand
@@ -21,10 +23,12 @@
 
 mod bigint;
 mod biguint;
+mod interval;
 mod rational;
 
 pub use bigint::{BigInt, Sign};
 pub use biguint::BigUint;
+pub use interval::ErrorInterval;
 pub use rational::Rational;
 
 #[cfg(test)]
@@ -105,6 +109,84 @@ mod proptests {
             let fb = bn as f64 / bd as f64;
             if (fa - fb).abs() > 1e-9 {
                 prop_assert_eq!(a < b, fa < fb);
+            }
+        }
+
+        /// `to_f64_bounds` is a *certified and optimal* enclosure on
+        /// arbitrary small rationals: `lo <= r <= hi` exactly, with `hi` at
+        /// most one ulp above `lo`, and `to_f64` inside the bounds.
+        #[test]
+        fn to_f64_bounds_enclose_small_rationals(n in -100_000i64..100_000, d in 1u64..100_000) {
+            let r = Rational::from_ratio_i64(n, d);
+            let (lo, hi) = r.to_f64_bounds();
+            prop_assert!(Rational::from_f64_dyadic(lo).unwrap() <= r);
+            prop_assert!(r <= Rational::from_f64_dyadic(hi).unwrap());
+            prop_assert!(hi == lo || hi == lo.next_up());
+            let approx = r.to_f64();
+            prop_assert!(lo <= approx && approx <= hi);
+        }
+
+        /// The shift-based large-magnitude path of `to_f64`, audited near
+        /// the `f64` boundaries: rationals built as `(2^a + x) / (2^b + y)`
+        /// with bit sizes straddling the old 900-bit threshold and the
+        /// overflow/subnormal range must come back within one ulp-pair and
+        /// *ordered consistently* with exact rational comparison.
+        #[test]
+        fn to_f64_bounds_enclose_huge_rationals(
+            a in 0usize..1200, b in 0usize..1200,
+            x in 0u64..u64::MAX, y in 0u64..u64::MAX,
+            negate in 0u8..2,
+        ) {
+            let n = &BigUint::pow2(a) + &BigUint::from_u64(x);
+            let d = &BigUint::pow2(b) + &BigUint::from_u64(y);
+            let mut r = Rational::new(BigInt::from_biguint(n), d);
+            if negate == 1 {
+                r = -r;
+            }
+            let (lo, hi) = r.to_f64_bounds();
+            // Exact containment, even past f64::MAX (saturating bound) and
+            // below the subnormal range.
+            if lo.is_finite() {
+                prop_assert!(Rational::from_f64_dyadic(lo).unwrap() <= r);
+            }
+            if hi.is_finite() {
+                prop_assert!(r <= Rational::from_f64_dyadic(hi).unwrap());
+            }
+            prop_assert!(lo <= hi);
+            // Optimality: the bounds are adjacent floats (or equal, or a
+            // saturating MAX/inf pair at the range boundary).
+            prop_assert!(
+                hi == lo || hi == lo.next_up(),
+                "bounds not adjacent: {} vs {}", lo, hi
+            );
+            let approx = r.to_f64();
+            prop_assert!(!approx.is_nan());
+            prop_assert!(lo <= approx && approx <= hi, "to_f64 {} outside [{}, {}]", approx, lo, hi);
+        }
+
+        /// Ordering consistency across the boundary-heavy generator: if the
+        /// certified enclosures of two rationals are disjoint, their exact
+        /// order matches the float order.
+        #[test]
+        fn to_f64_bounds_order_consistently(
+            a in 800usize..1100, b in 0usize..300,
+            x in 0u64..u64::MAX, y in 1u64..u64::MAX,
+        ) {
+            let r1 = Rational::new(
+                BigInt::from_biguint(&BigUint::pow2(a) + &BigUint::from_u64(x)),
+                BigUint::from_u64(y),
+            );
+            let r2 = Rational::new(
+                BigInt::from_biguint(&BigUint::pow2(a) + &BigUint::from_u64(y)),
+                &BigUint::pow2(b) + &BigUint::from_u64(x),
+            );
+            let (lo1, hi1) = r1.to_f64_bounds();
+            let (lo2, hi2) = r2.to_f64_bounds();
+            if hi1 < lo2 {
+                prop_assert!(r1 < r2);
+            }
+            if hi2 < lo1 {
+                prop_assert!(r2 < r1);
             }
         }
     }

@@ -143,23 +143,118 @@ impl Rational {
         &Rational::one() - self
     }
 
-    /// Approximate conversion to `f64`.
+    /// Correctly-rounded conversion to `f64` (round to nearest, ties to
+    /// even; values past `f64::MAX` round to the infinity of matching sign).
+    ///
+    /// Built on [`Rational::to_f64_bounds`]: the two candidate floats come
+    /// from the certified bracket, and the nearest one is selected by exact
+    /// rational comparison against their midpoint — no rounding analysis of
+    /// the fast approximation is trusted. (The previous implementation
+    /// shifted numerator and denominator by a *common* amount past 900 bits,
+    /// which collapsed a small denominator to zero — `2^950 / 2^10` came
+    /// back `inf` despite being comfortably inside `f64` range — and
+    /// double-rounded through per-limb float accumulation below the
+    /// threshold.)
     pub fn to_f64(&self) -> f64 {
-        // Scale to keep precision when both sides are huge.
-        let n_bits = self.numerator.magnitude().bits();
-        let d_bits = self.denominator.bits();
-        if n_bits < 900 && d_bits < 900 {
-            return self.numerator.to_f64() / self.denominator.to_f64();
+        use std::cmp::Ordering;
+        let (lo, hi) = self.to_f64_bounds();
+        if lo == hi {
+            return lo;
         }
-        let shift = n_bits.max(d_bits).saturating_sub(512);
-        let n = self.numerator.magnitude() >> shift;
-        let d = &self.denominator >> shift;
-        let approx = n.to_f64() / d.to_f64();
+        // Past the finite range the optimal bracket is (MAX, inf) or its
+        // dual; conventional overflow rounds to the infinite endpoint.
+        if lo == f64::NEG_INFINITY {
+            return f64::NEG_INFINITY;
+        }
+        if hi == f64::INFINITY {
+            return f64::INFINITY;
+        }
+        // `lo` and `hi` are adjacent floats; their midpoint is a dyadic
+        // rational, so round-to-nearest is an exact comparison.
+        let mid = &(&Rational::from_f64_dyadic(lo).expect("finite bound")
+            + &Rational::from_f64_dyadic(hi).expect("finite bound"))
+            * &Rational::from_ratio_u64(1, 2);
+        match self.cmp(&mid) {
+            Ordering::Less => lo,
+            Ordering::Greater => hi,
+            // Exact tie: pick the even mantissa (adjacent floats differ by
+            // one bit, so exactly one of the two is even).
+            Ordering::Equal => {
+                if lo.to_bits() & 1 == 0 {
+                    lo
+                } else {
+                    hi
+                }
+            }
+        }
+    }
+
+    /// Fast uncertified approximation seeding the bounds fix-up: both sides
+    /// are truncated to their top 63 bits with the cut exponents tracked
+    /// explicitly, so the quotient is computed on `u64`-sized operands at
+    /// full `f64` precision and then scaled by an exact power of two. Within
+    /// a few ulps of the exact value on the whole `f64` range.
+    fn to_f64_approx(&self) -> f64 {
+        if self.numerator.is_zero() {
+            return 0.0;
+        }
+        let n = self.numerator.magnitude();
+        let d = &self.denominator;
+        let n_shift = n.bits().saturating_sub(63);
+        let d_shift = d.bits().saturating_sub(63);
+        let n_top = (n >> n_shift).to_u64().expect("63 bits fit in u64") as f64;
+        let d_top = (d >> d_shift).to_u64().expect("63 bits fit in u64") as f64;
+        let magnitude = ldexp(n_top / d_top, n_shift as i64 - d_shift as i64);
         if self.numerator.is_negative() {
-            -approx
+            -magnitude
         } else {
-            approx
+            magnitude
         }
+    }
+
+    /// The tightest pair of `f64` bounds around the exact value:
+    /// `lo` is the largest `f64` with `lo <= self` and `hi` the smallest
+    /// with `self <= hi` (so `lo == hi` exactly when the value is
+    /// representable, and otherwise `hi == lo.next_up()`). Values beyond
+    /// `f64` range get the saturating bound (`f64::MAX`/`inf` and duals).
+    ///
+    /// This is the certified conversion the interval fast-path is built on:
+    /// the fast truncation-based candidate is *verified and corrected by
+    /// exact rational comparison* (finite floats are dyadic rationals), so
+    /// no rounding analysis of the approximation is trusted.
+    pub fn to_f64_bounds(&self) -> (f64, f64) {
+        use std::cmp::Ordering;
+        let cmp = |f: f64| -> Ordering {
+            if f == f64::INFINITY {
+                return Ordering::Greater;
+            }
+            if f == f64::NEG_INFINITY {
+                return Ordering::Less;
+            }
+            Rational::from_f64_dyadic(f)
+                .expect("candidate bounds are never NaN")
+                .cmp(self)
+        };
+        let approx = self.to_f64_approx();
+        debug_assert!(!approx.is_nan());
+        // Largest f64 <= self: walk down until <=, then back up while still <=.
+        let mut lo = approx;
+        while cmp(lo) == Ordering::Greater {
+            lo = lo.next_down();
+        }
+        while lo != f64::INFINITY && cmp(lo.next_up()) != Ordering::Greater {
+            lo = lo.next_up();
+        }
+        // Smallest f64 >= self, dually.
+        let mut hi = approx;
+        while cmp(hi) == Ordering::Less {
+            hi = hi.next_up();
+        }
+        while hi != f64::NEG_INFINITY && cmp(hi.next_down()) != Ordering::Less {
+            hi = hi.next_down();
+        }
+        debug_assert!(lo <= hi);
+        (lo, hi)
     }
 
     /// Multiplicative inverse. Panics if the value is zero.
@@ -192,6 +287,26 @@ impl Rational {
             self.denominator = d;
         }
     }
+}
+
+/// `x * 2^exp` without `libm`: scales in chunks of `2^±1000` (each chunk
+/// factor is exactly representable, so only the final step can round — into
+/// the subnormal range or to `±inf`, which is the correct saturating
+/// behaviour for an approximate conversion).
+fn ldexp(x: f64, exp: i64) -> f64 {
+    let mut x = x;
+    let mut exp = exp;
+    while exp > 0 {
+        let step = exp.min(1000);
+        x *= 2f64.powi(step as i32);
+        exp -= step;
+    }
+    while exp < 0 {
+        let step = exp.max(-1000);
+        x *= 2f64.powi(step as i32);
+        exp -= step;
+    }
+    x
 }
 
 impl Default for Rational {
