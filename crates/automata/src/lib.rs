@@ -69,7 +69,9 @@ pub use automaton::{
     exists_one_automaton, parity_automaton, DeterminizeError, State, TreeAutomaton,
 };
 pub use provenance::{acceptance_probability_bruteforce, provenance_circuit};
-pub use structured::{compile_structured_dnnf, StructuredDnnf, StructuredDnnfError};
+pub use structured::{
+    compile_structured_dnnf, compile_structured_dnnf_traced, StructuredDnnf, StructuredDnnfError,
+};
 pub use tree::{BinaryTree, Label, NodeAnnotation, NodeId, UncertainTree};
 
 #[cfg(test)]

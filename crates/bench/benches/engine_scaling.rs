@@ -80,12 +80,12 @@ fn bench_family(
     for &threads in &thread_counts() {
         let config = EngineConfig {
             threads,
-            ..base_config
+            ..base_config.clone()
         };
         group.bench_with_input(
             BenchmarkId::new("compile", format!("t{threads}")),
             &threads,
-            |b, _| b.iter(|| builder(config).automaton_lineage().unwrap()),
+            |b, _| b.iter(|| builder(config.clone()).automaton_lineage().unwrap()),
         );
         let lineage = builder(config).automaton_lineage().unwrap();
         group.bench_with_input(

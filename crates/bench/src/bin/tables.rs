@@ -23,6 +23,7 @@ fn main() {
     table1_and_counting();
     dichotomies();
     engine_section();
+    telemetry_section();
 }
 
 fn header(title: &str) {
@@ -460,7 +461,7 @@ fn engine_section() {
             .unwrap()
             .with_decomposition(td)
             .unwrap()
-            .with_engine_config(config)
+            .with_engine_config(config.clone())
             .automaton_lineage()
             .unwrap();
         let t_compile = t0.elapsed();
@@ -515,4 +516,160 @@ fn engine_section() {
     );
     assert!(cold.iter().all(|c| c.is_ok()));
     assert_eq!(cold, warm);
+}
+
+/// E-9: the unified telemetry layer. One instrumented FloatFirst session
+/// serves a mixed batch (exact probabilities, certified-float thresholds,
+/// model counts), one instrumented SharedDd session seeds a dd shard, and
+/// the merged `EvalSession::metrics()` snapshot is printed three ways:
+/// stage spans, per-(kind, tier) request counters with cache occupancy,
+/// and excerpts of the JSON-lines / Prometheus exports. The byte-identity
+/// guarantee (telemetry on == telemetry off, gate for gate) is pinned by
+/// `tests/telemetry_differential.rs`; this section is the human-readable
+/// view CI logs.
+fn telemetry_section() {
+    use treelineage::{ProbabilityRequest, ThresholdRequest};
+
+    let threads: usize = std::env::var("TREELINEAGE_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    header(&format!("E-9: unified telemetry (threads = {threads})"));
+    let config = EngineConfig {
+        telemetry: Telemetry::enabled(),
+        ..EngineConfig::with_threads(threads)
+    };
+
+    let sig = Signature::builder()
+        .relation("R", 1)
+        .relation("S", 2)
+        .relation("T", 1)
+        .build();
+    let q = parse_query(&sig, "R(x), S(x, y), T(y)").unwrap();
+    let mut inst = Instance::new(sig.clone());
+    for i in 0..100u64 {
+        inst.add_fact_by_name("R", &[i]);
+        inst.add_fact_by_name("S", &[i, i + 1]);
+        inst.add_fact_by_name("T", &[i + 1]);
+    }
+
+    let mut session = EvalSession::with_backend(config.clone(), SessionBackend::FloatFirst);
+    let qid = session.register_query(q.clone());
+    let iid = session.register_instance(inst.clone());
+    let valuation = ProbabilityValuation::from_probabilities(
+        &inst,
+        (0..inst.fact_count())
+            .map(|f| Rational::from_ratio_u64(1, (f as u64 % 3) + 2))
+            .collect(),
+    );
+    let probability_requests: Vec<ProbabilityRequest> = (0..8)
+        .map(|_| ProbabilityRequest {
+            query: qid,
+            instance: iid,
+            valuation: valuation.clone(),
+        })
+        .collect();
+    let threshold_requests: Vec<ThresholdRequest> = (0..8)
+        .map(|k| ThresholdRequest {
+            query: qid,
+            instance: iid,
+            valuation: valuation.clone(),
+            threshold: Rational::from_ratio_u64(1 + k % 3, 1000),
+        })
+        .collect();
+    assert!(session
+        .batch_probability(&probability_requests)
+        .iter()
+        .all(|r| r.is_ok()));
+    assert!(session
+        .batch_probability_f64(&probability_requests)
+        .iter()
+        .all(|r| r.is_ok()));
+    assert!(session
+        .batch_threshold(&threshold_requests)
+        .iter()
+        .all(|r| r.is_ok()));
+    assert!(session
+        .batch_model_count(&[(qid, iid)])
+        .iter()
+        .all(|r| r.is_ok()));
+
+    // A second instrumented session on the shared-dd backend, so the
+    // snapshot below also demonstrates the per-shard dd gauges.
+    let mut dd_session = EvalSession::with_backend(config, SessionBackend::SharedDd);
+    let dq = dd_session.register_query(q);
+    let di = dd_session.register_instance(inst);
+    assert!(dd_session
+        .batch_model_count(&[(dq, di)])
+        .iter()
+        .all(|r| r.is_ok()));
+
+    let snap = session.metrics();
+    println!("\n  pipeline stage spans (one warm FloatFirst session):");
+    println!(
+        "  {:>24} {:>7} {:>12} {:>12} {:>12}",
+        "span", "count", "total ms", "min ms", "max ms"
+    );
+    for span in &snap.spans {
+        println!(
+            "  {:>24} {:>7} {:>12.3} {:>12.3} {:>12.3}",
+            span.name,
+            span.count,
+            span.total_ns as f64 / 1e6,
+            span.min_ns as f64 / 1e6,
+            span.max_ns as f64 / 1e6
+        );
+    }
+
+    println!("\n  requests by (kind, tier):");
+    for c in snap.counters.iter().filter(|c| c.name == "requests_total") {
+        let label = |key: &str| {
+            c.labels
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_default()
+        };
+        println!(
+            "  {:>24} {:>12} {:>7}",
+            label("kind"),
+            label("tier"),
+            c.value
+        );
+    }
+    let occupancy = session.cache_occupancy();
+    println!(
+        "  caches: lineage {}/{}, query machines {}/{}, encodings {}, dd shards {}",
+        occupancy.lineage_entries,
+        occupancy.lineage_capacity,
+        occupancy.machine_entries,
+        occupancy.machine_capacity,
+        occupancy.encodings,
+        occupancy.dd_shards
+    );
+    for (instance, stats) in dd_session.dd_shard_stats() {
+        println!(
+            "  dd shard {}: {} nodes, unique table {}, op-cache {} ({} hits / {} misses)",
+            instance.index(),
+            stats.node_count,
+            stats.unique_table_len,
+            stats.op_cache_len,
+            stats.op_cache_hits,
+            stats.op_cache_misses
+        );
+    }
+
+    let json = snap.to_json_lines();
+    let prometheus = snap.to_prometheus();
+    println!(
+        "\n  exports: {} JSON lines, {} Prometheus lines; first of each:",
+        json.lines().count(),
+        prometheus.lines().count()
+    );
+    for line in json.lines().take(2) {
+        println!("    {line}");
+    }
+    for line in prometheus.lines().take(3) {
+        println!("    {line}");
+    }
 }

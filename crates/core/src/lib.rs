@@ -62,16 +62,18 @@ pub use lineage::{
 };
 pub use probability::{model_check, ProbabilityEvaluator};
 pub use treelineage_engine::{
-    karp_luby_probability, karp_luby_sample_bound, CircuitPartition, DecisionTier, EngineConfig,
-    EngineError, EvalSession, KarpLubyEstimate, ParallelDnnf, ProbabilityRequest, SessionBackend,
-    SessionStats, ThresholdDecision, ThresholdRequest, WmcRequest,
+    karp_luby_probability, karp_luby_sample_bound, CacheOccupancy, CircuitPartition, DecisionTier,
+    EngineConfig, EngineError, EvalSession, KarpLubyEstimate, MetricsSnapshot, ParallelDnnf,
+    ProbabilityRequest, Registry, SessionBackend, SessionStats, Span, SpanEvent, Telemetry,
+    ThresholdDecision, ThresholdRequest, WmcRequest,
 };
 
 /// Convenience re-exports of the types most users need.
 pub mod prelude {
     pub use crate::{
-        model_check, AutomatonLineage, EngineConfig, EvalSession, LineageBackend, LineageBuilder,
-        LineageError, MatchCounter, ProbabilityEvaluator, SessionBackend, StructuredLineage,
+        model_check, AutomatonLineage, CacheOccupancy, EngineConfig, EvalSession, LineageBackend,
+        LineageBuilder, LineageError, MatchCounter, MetricsSnapshot, ProbabilityEvaluator,
+        SessionBackend, StructuredLineage, Telemetry,
     };
     pub use treelineage_circuit::{Circuit, Dnnf, Formula, Obdd, Vtree};
     pub use treelineage_dd::{Manager as DdManager, NodeId as DdNodeId, Stats as DdStats};

@@ -493,12 +493,14 @@ impl<'a> LineageBuilder<'a> {
         // `with_decomposition`, and the heuristic fallback is valid by
         // construction — re-validating here would double the exact cost the
         // near-linear validate keeps off this path.
-        let encoding = treelineage_encoding::encode_trusted(self.instance, &td)?;
+        let telemetry = &self.engine_config.telemetry;
+        let encoding = treelineage_encoding::encode_traced(self.instance, &td, telemetry)?;
         let mut compiled = treelineage_encoding::compile_ucq(
             self.query,
             encoding.alphabet(),
             treelineage_encoding::CompileOptions {
                 state_budget: self.engine_config.state_budget,
+                telemetry: telemetry.clone(),
             },
         )?;
         let automaton = compiled.automaton_for(encoding.tree())?;
@@ -511,8 +513,12 @@ impl<'a> LineageBuilder<'a> {
             .map_err(|e| LineageError::Provenance(e.to_string()))?
         } else {
             treelineage_engine::ParallelDnnf::sequential(
-                treelineage_automata::compile_structured_dnnf(&automaton, encoding.tree())
-                    .map_err(|e| LineageError::Provenance(e.to_string()))?,
+                treelineage_automata::compile_structured_dnnf_traced(
+                    &automaton,
+                    encoding.tree(),
+                    telemetry,
+                )
+                .map_err(|e| LineageError::Provenance(e.to_string()))?,
             )
         };
         Ok(AutomatonLineage {

@@ -79,7 +79,7 @@ impl<'a> ProbabilityEvaluator<'a> {
 
     /// The engine configuration the evaluator routes through.
     pub fn engine_config(&self) -> treelineage_engine::EngineConfig {
-        self.engine_config
+        self.engine_config.clone()
     }
 
     /// The probability that the query holds, computed through the selected
@@ -189,8 +189,8 @@ impl<'a> ProbabilityEvaluator<'a> {
         &'q self,
         query: &'q UnionOfConjunctiveQueries,
     ) -> Result<LineageBuilder<'q>, LineageError> {
-        let mut builder =
-            LineageBuilder::new(query, self.instance)?.with_engine_config(self.engine_config);
+        let mut builder = LineageBuilder::new(query, self.instance)?
+            .with_engine_config(self.engine_config.clone());
         if let Some(td) = &self.decomposition {
             builder = builder.with_decomposition(td.clone())?;
         }

@@ -48,6 +48,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use treelineage_automata::{Label, TreeAutomaton};
 use treelineage_instance::{RelationId, Signature};
 use treelineage_query::{ConjunctiveQuery, MsoFormula, UnionOfConjunctiveQueries};
+use treelineage_telemetry::Telemetry;
 
 /// Variable is unassigned.
 const UNASSIGNED: u8 = u8::MAX;
@@ -57,18 +58,26 @@ const STAR: u8 = u8::MAX - 1;
 /// Default state budget of [`CompileOptions`].
 pub const DEFAULT_STATE_BUDGET: usize = 4096;
 
-/// Options for the query compiler.
-#[derive(Clone, Copy, Debug)]
+/// Options for the query compiler. (No `Copy` since the telemetry handle
+/// holds an `Arc`; construct with `..Default::default()` and clone where
+/// reused.)
+#[derive(Clone, Debug)]
 pub struct CompileOptions {
     /// Maximum number of deterministic states to enumerate before giving up
     /// with [`CompileError::StateBudget`].
     pub state_budget: usize,
+    /// Telemetry sink: [`compile_ucq`] / [`compile_mso`] record a
+    /// `query_compile` span, and [`CompiledQuery::automaton_for`] records an
+    /// `automaton_materialize` span plus the `query_states` gauge. Defaults
+    /// to the no-op handle.
+    pub telemetry: Telemetry,
 }
 
 impl Default for CompileOptions {
     fn default() -> Self {
         CompileOptions {
             state_budget: DEFAULT_STATE_BUDGET,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -431,6 +440,8 @@ pub struct CompiledQuery {
     unary: BTreeMap<(Label, usize), usize>,
     /// Memoized join transitions.
     join: BTreeMap<(usize, usize), usize>,
+    /// Carried over from [`CompileOptions`]; observes materializations.
+    telemetry: Telemetry,
 }
 
 impl CompiledQuery {
@@ -515,6 +526,7 @@ impl CompiledQuery {
         tree: &treelineage_automata::UncertainTree,
     ) -> Result<TreeAutomaton, CompileError> {
         use treelineage_automata::NodeAnnotation;
+        let _span = self.telemetry.span("automaton_materialize");
         let structure = tree.tree();
         let mut reach: Vec<Vec<usize>> = vec![Vec::new(); structure.node_count()];
         for node in structure.post_order() {
@@ -573,6 +585,8 @@ impl CompiledQuery {
             }
         }
         debug_assert!(automaton.is_deterministic());
+        self.telemetry
+            .gauge_set("query_states", &[], self.compiler.states.len() as i64);
         Ok(automaton)
     }
 }
@@ -613,12 +627,15 @@ fn compile_disjuncts(
     alphabet: &EncodingAlphabet,
     options: CompileOptions,
 ) -> Result<CompiledQuery, CompileError> {
+    let telemetry = options.telemetry.clone();
+    let _span = telemetry.span("query_compile");
     let compiler = Compiler::new(&disjuncts, alphabet, options)?;
     Ok(CompiledQuery {
         alphabet: alphabet.clone(),
         compiler,
         unary: BTreeMap::new(),
         join: BTreeMap::new(),
+        telemetry,
     })
 }
 
@@ -953,8 +970,15 @@ mod tests {
         let q = parse_query(&rst(), "S(x, y), S(y, z), S(z, w), x != w").unwrap();
         let inst = chain(4);
         let encoding = encode(&inst, &heuristic_td(&inst)).unwrap();
-        let mut compiled =
-            compile_ucq(&q, encoding.alphabet(), CompileOptions { state_budget: 2 }).unwrap();
+        let mut compiled = compile_ucq(
+            &q,
+            encoding.alphabet(),
+            CompileOptions {
+                state_budget: 2,
+                ..CompileOptions::default()
+            },
+        )
+        .unwrap();
         assert_eq!(
             compiled.automaton_for(encoding.tree()).unwrap_err(),
             CompileError::StateBudget { budget: 2 }

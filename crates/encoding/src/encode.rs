@@ -221,6 +221,19 @@ pub fn encode(
     encode_trusted(instance, decomposition)
 }
 
+/// [`encode_trusted`] with an `encode` telemetry span around the
+/// construction: the instrumented pipelines (engine sessions, the core
+/// lineage builder) route through this so the encode stage shows up in
+/// span aggregates; the span records nothing when `telemetry` is disabled.
+pub fn encode_traced(
+    instance: &Instance,
+    decomposition: &TreeDecomposition,
+    telemetry: &treelineage_telemetry::Telemetry,
+) -> Result<TreeEncoding, EncodingError> {
+    let _span = telemetry.span("encode");
+    encode_trusted(instance, decomposition)
+}
+
 /// [`encode`] without the validation pass (and without building the Gaifman
 /// graph at all): for callers that attest `decomposition` is a valid tree
 /// decomposition of the instance's Gaifman graph — already validated (e.g.

@@ -40,9 +40,10 @@ pub use parallel::{
     compile_structured_dnnf_parallel, parallel_reachable_states, CircuitPartition, ParallelDnnf,
 };
 pub use session::{
-    DecisionTier, EngineError, EvalSession, InstanceId, ProbabilityRequest, QueryId,
-    SessionBackend, SessionStats, ThresholdDecision, ThresholdRequest, WmcRequest,
+    CacheOccupancy, DecisionTier, EngineError, EvalSession, InstanceId, ProbabilityRequest,
+    QueryId, SessionBackend, SessionStats, ThresholdDecision, ThresholdRequest, WmcRequest,
 };
+pub use treelineage_telemetry::{MetricsSnapshot, Registry, Span, SpanEvent, Telemetry};
 
 use treelineage_dd::order::order_by_first_covering_bag;
 use treelineage_graph::TreeDecomposition;
@@ -55,8 +56,10 @@ use treelineage_instance::Instance;
 /// before until they opt in.
 ///
 /// (No `Eq`: the `(ε, δ)` knobs are `f64`. `PartialEq` is still derived and
-/// the engine never stores `NaN` in them.)
-#[derive(Clone, Copy, Debug, PartialEq)]
+/// the engine never stores `NaN` in them; [`Telemetry`] compares by
+/// identity. No `Copy` since the telemetry handle holds an `Arc` — clone
+/// configs explicitly where they are reused.)
+#[derive(Clone, Debug, PartialEq)]
 pub struct EngineConfig {
     /// Worker threads for subtree compilation and batched evaluation.
     /// `1` (the default) means everything runs on the caller's thread.
@@ -90,6 +93,12 @@ pub struct EngineConfig {
     /// Failure probability δ of the Karp–Luby fallback estimator. Default
     /// `0.01`.
     pub delta: f64,
+    /// Telemetry sink for pipeline-stage spans, pool activity, and
+    /// per-request tier/latency records. Defaults to
+    /// [`Telemetry::disabled`] — a no-op handle whose recording calls are
+    /// single branches (no clock reads, no allocation), and under which
+    /// compiled artifacts are byte-identical to an instrumented run.
+    pub telemetry: Telemetry,
 }
 
 impl Default for EngineConfig {
@@ -103,6 +112,7 @@ impl Default for EngineConfig {
             float_first: false,
             epsilon: 0.01,
             delta: 0.01,
+            telemetry: Telemetry::disabled(),
         }
     }
 }

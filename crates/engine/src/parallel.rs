@@ -37,11 +37,12 @@ use crate::EngineConfig;
 use std::collections::BTreeMap;
 use std::collections::HashMap;
 use treelineage_automata::{
-    compile_structured_dnnf, BinaryTree, NodeAnnotation, NodeId, State, StructuredDnnf,
+    compile_structured_dnnf_traced, BinaryTree, NodeAnnotation, NodeId, State, StructuredDnnf,
     StructuredDnnfError, TreeAutomaton, UncertainTree,
 };
 use treelineage_circuit::{Circuit, Dnnf, Gate, GateId, VarId, Vtree, VtreeId, VtreeNode};
 use treelineage_num::{BigUint, ErrorInterval, Rational};
+use treelineage_telemetry::Telemetry;
 
 /// Fragments below this size are not worth a task of their own: the replay
 /// and scheduling overhead would exceed the construction work.
@@ -149,16 +150,27 @@ impl CircuitPartition {
 pub struct ParallelDnnf {
     structured: StructuredDnnf,
     partition: CircuitPartition,
+    /// Observes the evaluation passes (pool task/steal counters); carried
+    /// from the compiling config so cached artifacts keep reporting into
+    /// the session's registry. Never influences any computed value.
+    telemetry: Telemetry,
 }
 
 impl ParallelDnnf {
     /// Wraps a sequentially compiled artifact (empty partition: every
-    /// evaluation runs sequentially).
+    /// evaluation runs sequentially; no telemetry sink).
     pub fn sequential(structured: StructuredDnnf) -> Self {
         ParallelDnnf {
             structured,
             partition: CircuitPartition::default(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Replaces the telemetry sink the evaluation passes record into.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The wrapped certified d-SDNNF.
@@ -187,6 +199,7 @@ impl ParallelDnnf {
             self.structured.dnnf().circuit(),
             &self.partition,
             threads,
+            &self.telemetry,
             &ProbabilityPass { prob },
         )
     }
@@ -203,6 +216,7 @@ impl ParallelDnnf {
             self.structured.dnnf().circuit(),
             &self.partition,
             threads,
+            &self.telemetry,
             &WmcPass { pos, neg },
         )
     }
@@ -214,6 +228,7 @@ impl ParallelDnnf {
             self.structured.dnnf().circuit(),
             &self.partition,
             threads,
+            &self.telemetry,
             &CountPass,
         )
     }
@@ -234,6 +249,7 @@ impl ParallelDnnf {
             self.structured.dnnf().circuit(),
             &self.partition,
             threads,
+            &self.telemetry,
             &IntervalProbabilityPass { prob },
         )
     }
@@ -251,6 +267,7 @@ impl ParallelDnnf {
             self.structured.dnnf().circuit(),
             &self.partition,
             threads,
+            &self.telemetry,
             &IntervalWmcPass { pos, neg },
         )
     }
@@ -296,9 +313,13 @@ pub(crate) fn compile_with_pool(
     config: &EngineConfig,
     pool_threads: usize,
 ) -> Result<ParallelDnnf, StructuredDnnfError> {
+    let telemetry = &config.telemetry;
     let plan = match SubtreePlan::cut(tree.tree(), config.threads, config.fragment_grain) {
         Some(plan) => plan,
-        None => return compile_structured_dnnf(automaton, tree).map(ParallelDnnf::sequential),
+        None => {
+            return compile_structured_dnnf_traced(automaton, tree, telemetry)
+                .map(|s| ParallelDnnf::sequential(s).with_telemetry(telemetry.clone()))
+        }
     };
     // Same validation, in the same order, as the sequential compiler: the
     // parallel path must fail on exactly the inputs (and with exactly the
@@ -320,12 +341,17 @@ pub(crate) fn compile_with_pool(
 
     // Phase 1: fragments, in parallel. Results land in cut order, so
     // nothing downstream depends on completion order.
-    let fragments: Vec<Fragment> = run_tasks(pool_threads, plan.cuts.len(), |i| {
-        compile_fragment(automaton, tree, plan.cuts[i], states)
-    });
+    let fragments: Vec<Fragment> = {
+        let mut span = telemetry.span("dsdnnf_fragments");
+        span.label("fragments", plan.cuts.len());
+        run_tasks(pool_threads, plan.cuts.len(), telemetry, |i| {
+            compile_fragment(automaton, tree, plan.cuts[i], states)
+        })
+    };
 
     // Phase 2: deterministic merge — walk the global post-order, replay
     // each fragment at its root's position, run spine nodes inline.
+    let _merge_span = telemetry.span("dsdnnf_merge");
     let mut circuit = Circuit::new();
     let false_gate = circuit.constant(false);
     // The true constant must exist at id 1 (the helper and the fragment
@@ -418,6 +444,7 @@ pub(crate) fn compile_with_pool(
     Ok(ParallelDnnf {
         structured: StructuredDnnf::from_trusted_parts(dnnf, vtree, tree.events()),
         partition,
+        telemetry: telemetry.clone(),
     })
 }
 
@@ -696,7 +723,9 @@ pub fn parallel_reachable_states(
             .map(|n| (n.0, local.remove(&n.0).unwrap()))
             .collect()
     };
-    let fragments = run_tasks(threads, plan.cuts.len(), |i| run_subtree(plan.cuts[i]));
+    let fragments = run_tasks(threads, plan.cuts.len(), &Telemetry::disabled(), |i| {
+        run_subtree(plan.cuts[i])
+    });
     let mut states: Vec<BTreeSet<State>> = vec![BTreeSet::new(); tree.node_count()];
     for fragment in fragments {
         for (node, set) in fragment {
@@ -932,12 +961,13 @@ fn run_pass<P: GatePass>(
     circuit: &Circuit,
     partition: &CircuitPartition,
     threads: usize,
+    telemetry: &Telemetry,
     pass: &P,
 ) -> P::Value {
     let n = circuit.size();
     let mut values: Vec<Option<P::Value>> = vec![None; n];
     if threads > 1 && partition.fragments.len() > 1 {
-        let chunks = run_tasks(threads, partition.fragments.len(), |fi| {
+        let chunks = run_tasks(threads, partition.fragments.len(), telemetry, |fi| {
             let (start, end) = partition.fragments[fi];
             let cfalse = pass.constant(false);
             let ctrue = pass.constant(true);
@@ -1020,7 +1050,7 @@ fn run_pass<P: GatePass>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use treelineage_automata::strategies;
+    use treelineage_automata::{compile_structured_dnnf, strategies};
 
     /// Gate-by-gate equality (ids, kinds, operand order, output) plus vtree
     /// node equality — the byte-identity contract.

@@ -33,6 +33,8 @@ use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Mutex, MutexGuard};
 
+use treelineage_telemetry::Telemetry;
+
 /// Locks a mutex, recovering the guard when a previous holder panicked.
 ///
 /// All engine state guarded by mutexes (work deques, result slots, session
@@ -67,13 +69,18 @@ type TaskResult<T> = Result<T, Box<dyn Any + Send>>;
 /// If a task panics, the remaining tasks still run to completion and the
 /// first panic (in task order) is re-raised on the caller's thread with its
 /// original payload; no mutex poisoning escapes.
-pub(crate) fn run_tasks<T, F>(threads: usize, count: usize, job: F) -> Vec<T>
+///
+/// When `telemetry` is enabled, each worker records its executed-task and
+/// successful-steal counts (`pool_tasks_total` / `pool_steals_total`,
+/// labelled by worker index) once, at worker exit — the task loop itself
+/// touches only thread-local integers, so instrumentation never contends.
+pub(crate) fn run_tasks<T, F>(threads: usize, count: usize, telemetry: &Telemetry, job: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
     let mut out = Vec::with_capacity(count);
-    for result in run_tasks_impl(threads, count, job) {
+    for result in run_tasks_impl(threads, count, telemetry, job) {
         match result {
             Ok(v) => out.push(v),
             Err(payload) => resume_unwind(payload),
@@ -89,26 +96,36 @@ where
 pub(crate) fn run_tasks_catching<T, F>(
     threads: usize,
     count: usize,
+    telemetry: &Telemetry,
     job: F,
 ) -> Vec<Result<T, String>>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    run_tasks_impl(threads, count, job)
+    run_tasks_impl(threads, count, telemetry, job)
         .into_iter()
         .map(|r| r.map_err(|payload| panic_message(payload.as_ref())))
         .collect()
 }
 
-fn run_tasks_impl<T, F>(threads: usize, count: usize, job: F) -> Vec<TaskResult<T>>
+fn run_tasks_impl<T, F>(
+    threads: usize,
+    count: usize,
+    telemetry: &Telemetry,
+    job: F,
+) -> Vec<TaskResult<T>>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
     let guarded = |i: usize| catch_unwind(AssertUnwindSafe(|| job(i)));
     if threads <= 1 || count <= 1 {
-        return (0..count).map(guarded).collect();
+        let results: Vec<TaskResult<T>> = (0..count).map(guarded).collect();
+        if telemetry.is_enabled() && count > 0 {
+            telemetry.counter_add("pool_tasks_total", &[("worker", "inline")], count as u64);
+        }
+        return results;
     }
     let workers = threads.min(count);
     // Deal tasks round-robin so every worker starts with a share.
@@ -121,26 +138,42 @@ where
             let deques = &deques;
             let slots = &slots;
             let guarded = &guarded;
-            scope.spawn(move || loop {
-                // Own work first (LIFO keeps the most recently dealt — and
-                // most likely cache-resident — indices hot)...
-                let mut task = lock_recovering(&deques[w]).pop_back();
-                if task.is_none() {
-                    // ...then steal the *oldest* task of the most loaded
-                    // victim, the one its owner would reach last.
-                    let victim = (0..workers)
-                        .filter(|&v| v != w)
-                        .max_by_key(|&v| lock_recovering(&deques[v]).len());
-                    if let Some(v) = victim {
-                        task = lock_recovering(&deques[v]).pop_front();
+            scope.spawn(move || {
+                let mut ran: u64 = 0;
+                let mut stolen: u64 = 0;
+                loop {
+                    // Own work first (LIFO keeps the most recently dealt — and
+                    // most likely cache-resident — indices hot)...
+                    let mut task = lock_recovering(&deques[w]).pop_back();
+                    if task.is_none() {
+                        // ...then steal the *oldest* task of the most loaded
+                        // victim, the one its owner would reach last.
+                        let victim = (0..workers)
+                            .filter(|&v| v != w)
+                            .max_by_key(|&v| lock_recovering(&deques[v]).len());
+                        if let Some(v) = victim {
+                            task = lock_recovering(&deques[v]).pop_front();
+                            if task.is_some() {
+                                stolen += 1;
+                            }
+                        }
+                    }
+                    match task {
+                        Some(i) => {
+                            ran += 1;
+                            let result = guarded(i);
+                            *lock_recovering(&slots[i]) = Some(result);
+                        }
+                        None => break,
                     }
                 }
-                match task {
-                    Some(i) => {
-                        let result = guarded(i);
-                        *lock_recovering(&slots[i]) = Some(result);
+                if telemetry.is_enabled() && ran > 0 {
+                    let worker = w.to_string();
+                    let labels = [("worker", worker.as_str())];
+                    telemetry.counter_add("pool_tasks_total", &labels, ran);
+                    if stolen > 0 {
+                        telemetry.counter_add("pool_steals_total", &labels, stolen);
                     }
-                    None => break,
                 }
             });
         }
@@ -163,7 +196,7 @@ mod tests {
     #[test]
     fn results_are_in_task_order() {
         for threads in [1, 2, 3, 8] {
-            let out = run_tasks(threads, 37, |i| i * i);
+            let out = run_tasks(threads, 37, &Telemetry::disabled(), |i| i * i);
             assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>(), "{threads}");
         }
     }
@@ -171,7 +204,9 @@ mod tests {
     #[test]
     fn every_task_runs_exactly_once() {
         let counters: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
-        let _ = run_tasks(4, 100, |i| counters[i].fetch_add(1, Ordering::SeqCst));
+        let _ = run_tasks(4, 100, &Telemetry::disabled(), |i| {
+            counters[i].fetch_add(1, Ordering::SeqCst)
+        });
         assert!(counters.iter().all(|c| c.load(Ordering::SeqCst) == 1));
     }
 
@@ -180,7 +215,7 @@ mod tests {
         // A few heavy tasks among many light ones: stealing must still
         // produce the right results (timing is not asserted — the point is
         // that the scheduler terminates and stays correct under imbalance).
-        let out = run_tasks(4, 16, |i| {
+        let out = run_tasks(4, 16, &Telemetry::disabled(), |i| {
             if i % 5 == 0 {
                 (0..20_000u64).map(|x| x.wrapping_mul(i as u64 + 1)).sum()
             } else {
@@ -193,8 +228,8 @@ mod tests {
 
     #[test]
     fn zero_and_one_tasks() {
-        assert!(run_tasks(4, 0, |i| i).is_empty());
-        assert_eq!(run_tasks(4, 1, |i| i + 1), vec![1]);
+        assert!(run_tasks(4, 0, &Telemetry::disabled(), |i| i).is_empty());
+        assert_eq!(run_tasks(4, 1, &Telemetry::disabled(), |i| i + 1), vec![1]);
     }
 
     #[test]
@@ -202,7 +237,7 @@ mod tests {
         // One bad task out of 16: the others must all complete, the bad one
         // must come back as a typed error, and the original message must
         // survive — no secondary PoisonError panics anywhere.
-        let out = run_tasks_catching(4, 16, |i| {
+        let out = run_tasks_catching(4, 16, &Telemetry::disabled(), |i| {
             if i == 5 {
                 panic!("task {i} exploded");
             }
@@ -220,7 +255,7 @@ mod tests {
     #[test]
     fn run_tasks_reraises_the_panic_once() {
         let caught = std::panic::catch_unwind(|| {
-            run_tasks(4, 8, |i| {
+            run_tasks(4, 8, &Telemetry::disabled(), |i| {
                 if i == 3 {
                     panic!("original payload");
                 }
@@ -235,9 +270,40 @@ mod tests {
     fn pool_stays_usable_after_a_panic() {
         // A panicking run followed by a clean run on the same thread: the
         // second run must behave normally (nothing static was poisoned).
-        let _ = run_tasks_catching(4, 8, |i| if i == 0 { panic!("boom") } else { i });
-        let out = run_tasks(4, 8, |i| i + 1);
+        let _ = run_tasks_catching(4, 8, &Telemetry::disabled(), |i| {
+            if i == 0 {
+                panic!("boom")
+            } else {
+                i
+            }
+        });
+        let out = run_tasks(4, 8, &Telemetry::disabled(), |i| i + 1);
         assert_eq!(out, (1..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn telemetry_counts_tasks_across_workers() {
+        let telemetry = Telemetry::enabled();
+        let out = run_tasks(4, 64, &telemetry, |i| {
+            // Uneven costs so at least one steal is plausible; only the
+            // task total is asserted (steals depend on timing).
+            if i % 7 == 0 {
+                (0..10_000u64).map(|x| x.wrapping_add(i as u64)).sum()
+            } else {
+                i as u64
+            }
+        });
+        assert_eq!(out.len(), 64);
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter_total("pool_tasks_total"), 64);
+        // The inline path records under the "inline" worker label.
+        let _ = run_tasks(1, 5, &telemetry, |i| i);
+        assert_eq!(
+            telemetry
+                .snapshot()
+                .counter("pool_tasks_total", &[("worker", "inline")]),
+            Some(5)
+        );
     }
 
     #[test]

@@ -40,6 +40,7 @@ use crate::{variable_order_from_decomposition, EngineConfig};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 use treelineage_dd::Manager;
 use treelineage_encoding::{
     compile_ucq, CompileError, CompileOptions, CompiledQuery, EncodingError, TreeEncoding,
@@ -48,14 +49,30 @@ use treelineage_graph::TreeDecomposition;
 use treelineage_instance::{FactId, Instance, ProbabilityValuation};
 use treelineage_num::{BigUint, ErrorInterval, Rational};
 use treelineage_query::{matching, UnionOfConjunctiveQueries};
+use treelineage_telemetry::MetricsSnapshot;
 
 /// Handle to an instance registered with an [`EvalSession`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
 pub struct InstanceId(usize);
 
+impl InstanceId {
+    /// The session-local index of the instance — the value the telemetry
+    /// layer uses as the `shard` label of the per-shard dd series.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
 /// Handle to a query registered with an [`EvalSession`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
 pub struct QueryId(usize);
+
+impl QueryId {
+    /// The session-local index of the query.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
 
 /// Which compiled representation a session serves requests from.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -170,6 +187,18 @@ pub enum DecisionTier {
     MonteCarlo,
 }
 
+impl DecisionTier {
+    /// Stable lowercase name of the tier, used as the `tier` label of the
+    /// telemetry series `requests_total` / `request_latency_ns`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DecisionTier::Float => "float",
+            DecisionTier::Exact => "exact",
+            DecisionTier::MonteCarlo => "monte_carlo",
+        }
+    }
+}
+
 /// The outcome of a [`ThresholdRequest`].
 #[derive(Clone, Debug, PartialEq)]
 pub struct ThresholdDecision {
@@ -208,6 +237,13 @@ pub struct SessionStats {
     /// Requests served by the Karp–Luby estimator (budget-exceeded
     /// degradation under [`SessionBackend::FloatFirst`]).
     pub monte_carlo_fallbacks: usize,
+    /// Requests whose worker task panicked ([`EngineError::WorkerPanicked`]).
+    /// Every panic is also counted in [`SessionStats::errors`].
+    pub worker_panics: usize,
+    /// Requests that returned an [`EngineError`] (of any kind) instead of a
+    /// result. Previously panicked requests were silently counted as served;
+    /// `requests == errors + successes` now holds per batch.
+    pub errors: usize,
 }
 
 #[derive(Default)]
@@ -221,6 +257,8 @@ struct Counters {
     float_decisions: AtomicUsize,
     exact_fallbacks: AtomicUsize,
     monte_carlo_fallbacks: AtomicUsize,
+    worker_panics: AtomicUsize,
+    errors: AtomicUsize,
 }
 
 /// A capacity-capped map with true LRU eviction: every hit refreshes the
@@ -268,6 +306,36 @@ impl<K: Ord + Clone, V: Clone> CacheMap<K, V> {
             self.map.remove(&coldest);
         }
     }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+/// Point-in-time occupancy of an [`EvalSession`]'s cache layers, from
+/// [`EvalSession::cache_occupancy`]. Entry counts never exceed the matching
+/// capacity (the caches evict on insert past the cap); the encoding and dd
+/// layers are per registered instance and uncapped, so they report how many
+/// instances have materialized that state so far.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheOccupancy {
+    /// Compiled lineages resident in the (query, instance) cache.
+    pub lineage_entries: usize,
+    /// Capacity of the lineage cache ([`EngineConfig::lineage_cache_cap`]).
+    pub lineage_capacity: usize,
+    /// Compiled query machines resident in the (query, width) cache.
+    pub machine_entries: usize,
+    /// Capacity of the machine cache ([`EngineConfig::query_cache_cap`]).
+    pub machine_capacity: usize,
+    /// Registered instances whose tree encoding has been built.
+    pub encodings: usize,
+    /// Registered instances whose dd shard has been seeded
+    /// ([`SessionBackend::SharedDd`] only).
+    pub dd_shards: usize,
 }
 
 /// A dd-engine shard: one manager (pinned to the instance's fact order)
@@ -406,7 +474,116 @@ impl EvalSession {
             float_decisions: self.counters.float_decisions.load(Ordering::Relaxed),
             exact_fallbacks: self.counters.exact_fallbacks.load(Ordering::Relaxed),
             monte_carlo_fallbacks: self.counters.monte_carlo_fallbacks.load(Ordering::Relaxed),
+            worker_panics: self.counters.worker_panics.load(Ordering::Relaxed),
+            errors: self.counters.errors.load(Ordering::Relaxed),
         }
+    }
+
+    /// Occupancy and capacity of every cache layer, for capacity planning
+    /// (are evictions churning?) and leak spotting.
+    pub fn cache_occupancy(&self) -> CacheOccupancy {
+        // Guards in a struct literal would live to the end of the whole
+        // expression — locking the same cache twice there deadlocks, so
+        // each lock is scoped to its own statement.
+        let (lineage_entries, lineage_capacity) = {
+            let lineages = lock_recovering(&self.lineages);
+            (lineages.len(), lineages.capacity())
+        };
+        let (machine_entries, machine_capacity) = {
+            let machines = lock_recovering(&self.machines);
+            (machines.len(), machines.capacity())
+        };
+        CacheOccupancy {
+            lineage_entries,
+            lineage_capacity,
+            machine_entries,
+            machine_capacity,
+            encodings: self
+                .instances
+                .iter()
+                .filter(|e| lock_recovering(&e.encoding).is_some())
+                .count(),
+            dd_shards: self
+                .instances
+                .iter()
+                .filter(|e| lock_recovering(&e.dd).is_some())
+                .count(),
+        }
+    }
+
+    /// Store and cache statistics of every seeded dd shard, keyed by the
+    /// instance the shard serves. Empty until a [`SessionBackend::SharedDd`]
+    /// request first touches an instance.
+    pub fn dd_shard_stats(&self) -> Vec<(InstanceId, treelineage_dd::Stats)> {
+        self.instances
+            .iter()
+            .enumerate()
+            .filter_map(|(i, entry)| {
+                lock_recovering(&entry.dd)
+                    .as_ref()
+                    .map(|shard| (InstanceId(i), shard.manager.stats()))
+            })
+            .collect()
+    }
+
+    /// The session's full observability surface as one stable
+    /// [`MetricsSnapshot`]: the telemetry registry's counters, gauges,
+    /// histograms and span aggregates (empty when [`EngineConfig::telemetry`]
+    /// is disabled), merged with the always-on session layers — the
+    /// [`SessionStats`] counters (as `session_*` counter series), cache
+    /// occupancy/capacity gauges, and per-shard dd statistics (labelled by
+    /// shard instance id). Export with [`MetricsSnapshot::to_json_lines`] or
+    /// [`MetricsSnapshot::to_prometheus`].
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut snap = self.config.telemetry.snapshot();
+        let stats = self.stats();
+        for (name, value) in [
+            ("session_requests_total", stats.requests),
+            ("session_lineage_hits_total", stats.lineage_hits),
+            ("session_lineage_misses_total", stats.lineage_misses),
+            ("session_machines_built_total", stats.machines_built),
+            ("session_encodings_built_total", stats.encodings_built),
+            ("session_dd_roots_built_total", stats.dd_roots_built),
+            ("session_float_decisions_total", stats.float_decisions),
+            ("session_exact_fallbacks_total", stats.exact_fallbacks),
+            (
+                "session_monte_carlo_fallbacks_total",
+                stats.monte_carlo_fallbacks,
+            ),
+            ("session_worker_panics_total", stats.worker_panics),
+            ("session_errors_total", stats.errors),
+        ] {
+            snap.push_counter(name, &[], value as u64);
+        }
+        let occupancy = self.cache_occupancy();
+        for (name, value) in [
+            ("lineage_cache_entries", occupancy.lineage_entries),
+            ("lineage_cache_capacity", occupancy.lineage_capacity),
+            ("query_cache_entries", occupancy.machine_entries),
+            ("query_cache_capacity", occupancy.machine_capacity),
+            ("instance_encodings", occupancy.encodings),
+            ("dd_shards", occupancy.dd_shards),
+        ] {
+            snap.push_gauge(name, &[], value as i64);
+        }
+        for (instance, dd_stats) in self.dd_shard_stats() {
+            let shard = instance.0.to_string();
+            let labels = [("shard", shard.as_str())];
+            snap.push_gauge("dd_nodes", &labels, dd_stats.node_count as i64);
+            snap.push_gauge(
+                "dd_unique_table_len",
+                &labels,
+                dd_stats.unique_table_len as i64,
+            );
+            snap.push_gauge("dd_op_cache_len", &labels, dd_stats.op_cache_len as i64);
+            snap.push_counter("dd_op_cache_hits_total", &labels, dd_stats.op_cache_hits);
+            snap.push_counter(
+                "dd_op_cache_misses_total",
+                &labels,
+                dd_stats.op_cache_misses,
+            );
+        }
+        snap
     }
 
     /// Evaluates a batch of probability requests. Shared compile work is
@@ -435,29 +612,37 @@ impl EvalSession {
                 let artifacts =
                     self.compile_pairs(requests.iter().map(|r| (r.query.0, r.instance.0)));
                 let eval_threads = self.eval_threads(requests.len());
-                Self::flatten_caught(run_tasks_catching(
+                self.flatten_caught(run_tasks_catching(
                     self.config.threads,
                     requests.len(),
+                    &self.config.telemetry,
                     |i| {
+                        let started = self.timer();
                         let r = &requests[i];
                         self.check_valuation(r.instance, &r.valuation);
                         let lineage = artifacts[&(r.query.0, r.instance.0)].clone()?;
-                        Ok(lineage.probability(
+                        let p = lineage.probability(
                             &|v| r.valuation.probability(FactId(v)).clone(),
                             eval_threads,
-                        ))
+                        );
+                        self.record_request("probability", DecisionTier::Exact, started);
+                        Ok(p)
                     },
                 ))
             }
-            SessionBackend::SharedDd => Self::flatten_caught(run_tasks_catching(
+            SessionBackend::SharedDd => self.flatten_caught(run_tasks_catching(
                 self.config.threads,
                 requests.len(),
+                &self.config.telemetry,
                 |i| {
+                    let started = self.timer();
                     let r = &requests[i];
                     self.check_valuation(r.instance, &r.valuation);
-                    self.dd_evaluate(r.query.0, r.instance.0, |manager, root| {
+                    let p = self.dd_evaluate(r.query.0, r.instance.0, |manager, root| {
                         manager.probability(root, &|v| r.valuation.probability(FactId(v)).clone())
-                    })
+                    })?;
+                    self.record_request("probability", DecisionTier::Exact, started);
+                    Ok(p)
                 },
             )),
         }
@@ -474,17 +659,59 @@ impl EvalSession {
         );
     }
 
-    /// Converts caught worker panics into per-request typed errors.
+    /// Converts caught worker panics into per-request typed errors, counting
+    /// every panic and every failed request into the session stats (a
+    /// panicked request previously counted as served, invisibly).
     fn flatten_caught<T>(
+        &self,
         results: Vec<Result<Result<T, EngineError>, String>>,
     ) -> Vec<Result<T, EngineError>> {
-        results
+        let out: Vec<Result<T, EngineError>> = results
             .into_iter()
             .map(|r| match r {
                 Ok(inner) => inner,
-                Err(message) => Err(EngineError::WorkerPanicked(message)),
+                Err(message) => {
+                    self.counters.worker_panics.fetch_add(1, Ordering::Relaxed);
+                    Err(EngineError::WorkerPanicked(message))
+                }
             })
-            .collect()
+            .collect();
+        self.count_errors(&out);
+        out
+    }
+
+    /// Counts a finished batch's failed requests into
+    /// [`SessionStats::errors`].
+    fn count_errors<T>(&self, results: &[Result<T, EngineError>]) {
+        let failed = results.iter().filter(|r| r.is_err()).count();
+        if failed > 0 {
+            self.counters.errors.fetch_add(failed, Ordering::Relaxed);
+        }
+    }
+
+    /// Starts a per-request latency timer; `None` — and no clock read at
+    /// all — when telemetry is disabled.
+    fn timer(&self) -> Option<Instant> {
+        if self.config.telemetry.is_enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Records one served request into the `requests_total{kind,tier}`
+    /// counter and the `request_latency_ns{kind,tier}` histogram.
+    fn record_request(&self, kind: &'static str, tier: DecisionTier, started: Option<Instant>) {
+        if let Some(start) = started {
+            let labels = [("kind", kind), ("tier", tier.as_str())];
+            let telemetry = &self.config.telemetry;
+            telemetry.counter_add("requests_total", &labels, 1);
+            telemetry.observe_ns(
+                "request_latency_ns",
+                &labels,
+                start.elapsed().as_nanos() as u64,
+            );
+        }
     }
 
     /// Evaluates a batch of general weighted-model-count requests. Always
@@ -497,10 +724,12 @@ impl EvalSession {
             .fetch_add(requests.len(), Ordering::Relaxed);
         let artifacts = self.compile_pairs(requests.iter().map(|r| (r.query.0, r.instance.0)));
         let eval_threads = self.eval_threads(requests.len());
-        Self::flatten_caught(run_tasks_catching(
+        self.flatten_caught(run_tasks_catching(
             self.config.threads,
             requests.len(),
+            &self.config.telemetry,
             |i| {
+                let started = self.timer();
                 let r = &requests[i];
                 let facts = self.instances[r.instance.0].instance.fact_count();
                 assert_eq!(
@@ -514,7 +743,9 @@ impl EvalSession {
                     "neg weights must cover every fact of the instance"
                 );
                 let lineage = artifacts[&(r.query.0, r.instance.0)].clone()?;
-                Ok(lineage.wmc(&|v| r.pos[v].clone(), &|v| r.neg[v].clone(), eval_threads))
+                let w = lineage.wmc(&|v| r.pos[v].clone(), &|v| r.neg[v].clone(), eval_threads);
+                self.record_request("wmc", DecisionTier::Exact, started);
+                Ok(w)
             },
         ))
     }
@@ -540,10 +771,12 @@ impl EvalSession {
             .fetch_add(requests.len(), Ordering::Relaxed);
         let artifacts = self.compile_pairs(requests.iter().map(|r| (r.query.0, r.instance.0)));
         let eval_threads = self.eval_threads(requests.len());
-        Self::flatten_caught(run_tasks_catching(
+        self.flatten_caught(run_tasks_catching(
             self.config.threads,
             requests.len(),
+            &self.config.telemetry,
             |i| {
+                let started = self.timer();
                 let r = &requests[i];
                 self.check_valuation(r.instance, &r.valuation);
                 match &artifacts[&(r.query.0, r.instance.0)] {
@@ -552,10 +785,18 @@ impl EvalSession {
                             &|v| ErrorInterval::from_rational(r.valuation.probability(FactId(v))),
                             eval_threads,
                         );
+                        self.record_request("probability_f64", DecisionTier::Float, started);
                         Ok((interval.midpoint(), interval))
                     }
                     Err(e) => match self.monte_carlo(r, e) {
-                        Some(estimate) => Ok(estimate),
+                        Some(estimate) => {
+                            self.record_request(
+                                "probability_f64",
+                                DecisionTier::MonteCarlo,
+                                started,
+                            );
+                            Ok(estimate)
+                        }
                         None => Err(e.clone()),
                     },
                 }
@@ -584,10 +825,12 @@ impl EvalSession {
             .requests
             .fetch_add(requests.len(), Ordering::Relaxed);
         if self.backend == SessionBackend::SharedDd {
-            return Self::flatten_caught(run_tasks_catching(
+            return self.flatten_caught(run_tasks_catching(
                 self.config.threads,
                 requests.len(),
+                &self.config.telemetry,
                 |i| {
+                    let started = self.timer();
                     let r = &requests[i];
                     self.check_valuation(r.instance, &r.valuation);
                     let exact = self.dd_evaluate(r.query.0, r.instance.0, |manager, root| {
@@ -596,6 +839,7 @@ impl EvalSession {
                     self.counters
                         .exact_fallbacks
                         .fetch_add(1, Ordering::Relaxed);
+                    self.record_request("threshold", DecisionTier::Exact, started);
                     Ok(Self::exact_decision(&exact, &r.threshold))
                 },
             ));
@@ -603,10 +847,12 @@ impl EvalSession {
         let float_first = self.backend == SessionBackend::FloatFirst;
         let artifacts = self.compile_pairs(requests.iter().map(|r| (r.query.0, r.instance.0)));
         let eval_threads = self.eval_threads(requests.len());
-        Self::flatten_caught(run_tasks_catching(
+        self.flatten_caught(run_tasks_catching(
             self.config.threads,
             requests.len(),
+            &self.config.telemetry,
             |i| {
+                let started = self.timer();
                 let r = &requests[i];
                 self.check_valuation(r.instance, &r.valuation);
                 let lineage = match &artifacts[&(r.query.0, r.instance.0)] {
@@ -618,11 +864,14 @@ impl EvalSession {
                             valuation: r.valuation.clone(),
                         };
                         return match self.monte_carlo(&as_probability, e) {
-                            Some((estimate, interval)) => Ok(ThresholdDecision {
-                                above: estimate > r.threshold.to_f64(),
-                                tier: DecisionTier::MonteCarlo,
-                                interval,
-                            }),
+                            Some((estimate, interval)) => {
+                                self.record_request("threshold", DecisionTier::MonteCarlo, started);
+                                Ok(ThresholdDecision {
+                                    above: estimate > r.threshold.to_f64(),
+                                    tier: DecisionTier::MonteCarlo,
+                                    interval,
+                                })
+                            }
                             None => Err(e.clone()),
                         };
                     }
@@ -636,6 +885,7 @@ impl EvalSession {
                         self.counters
                             .float_decisions
                             .fetch_add(1, Ordering::Relaxed);
+                        self.record_request("threshold", DecisionTier::Float, started);
                         return Ok(ThresholdDecision {
                             above: order == std::cmp::Ordering::Greater,
                             tier: DecisionTier::Float,
@@ -650,6 +900,7 @@ impl EvalSession {
                 self.counters
                     .exact_fallbacks
                     .fetch_add(1, Ordering::Relaxed);
+                self.record_request("threshold", DecisionTier::Exact, started);
                 Ok(Self::exact_decision(&exact, &r.threshold))
             },
         ))
@@ -712,17 +963,29 @@ impl EvalSession {
                 let artifacts = self.compile_pairs(requests.iter().map(|&(q, i)| (q.0, i.0)));
                 let unique: Vec<(usize, usize)> = artifacts.keys().copied().collect();
                 let eval_threads = self.eval_threads(unique.len());
-                let counts = run_tasks(self.config.threads, unique.len(), |k| {
-                    artifacts[&unique[k]]
-                        .clone()
-                        .map(|lineage| lineage.model_count(eval_threads))
-                });
+                let counts = run_tasks(
+                    self.config.threads,
+                    unique.len(),
+                    &self.config.telemetry,
+                    |k| {
+                        let started = self.timer();
+                        let count = artifacts[&unique[k]]
+                            .clone()
+                            .map(|lineage| lineage.model_count(eval_threads));
+                        if count.is_ok() {
+                            self.record_request("model_count", DecisionTier::Exact, started);
+                        }
+                        count
+                    },
+                );
                 let by_pair: BTreeMap<(usize, usize), Result<BigUint, EngineError>> =
                     unique.into_iter().zip(counts).collect();
-                requests
+                let out: Vec<Result<BigUint, EngineError>> = requests
                     .iter()
                     .map(|&(q, i)| by_pair[&(q.0, i.0)].clone())
-                    .collect()
+                    .collect();
+                self.count_errors(&out);
+                out
             }
             SessionBackend::SharedDd => {
                 // Dedup here too: identical pairs would otherwise re-run
@@ -733,16 +996,29 @@ impl EvalSession {
                     .collect::<BTreeSet<_>>()
                     .into_iter()
                     .collect();
-                let counts = run_tasks(self.config.threads, unique.len(), |k| {
-                    let (q, i) = unique[k];
-                    self.dd_evaluate(q, i, |manager, root| manager.count_models(root))
-                });
+                let counts = run_tasks(
+                    self.config.threads,
+                    unique.len(),
+                    &self.config.telemetry,
+                    |k| {
+                        let started = self.timer();
+                        let (q, i) = unique[k];
+                        let count =
+                            self.dd_evaluate(q, i, |manager, root| manager.count_models(root));
+                        if count.is_ok() {
+                            self.record_request("model_count", DecisionTier::Exact, started);
+                        }
+                        count
+                    },
+                );
                 let by_pair: BTreeMap<(usize, usize), Result<BigUint, EngineError>> =
                     unique.into_iter().zip(counts).collect();
-                requests
+                let out: Vec<Result<BigUint, EngineError>> = requests
                     .iter()
                     .map(|&(q, i)| by_pair[&(q.0, i.0)].clone())
-                    .collect()
+                    .collect();
+                self.count_errors(&out);
+                out
             }
         }
     }
@@ -757,9 +1033,12 @@ impl EvalSession {
     ) -> BTreeMap<(usize, usize), Result<Arc<ParallelDnnf>, EngineError>> {
         let unique: Vec<(usize, usize)> = pairs.collect::<BTreeSet<_>>().into_iter().collect();
         let inner_threads = self.eval_threads(unique.len());
-        let compiled = run_tasks(self.config.threads, unique.len(), |k| {
-            self.lineage(unique[k].0, unique[k].1, inner_threads)
-        });
+        let compiled = run_tasks(
+            self.config.threads,
+            unique.len(),
+            &self.config.telemetry,
+            |k| self.lineage(unique[k].0, unique[k].1, inner_threads),
+        );
         unique.into_iter().zip(compiled).collect()
     }
 
@@ -821,8 +1100,12 @@ impl EvalSession {
             .fetch_add(1, Ordering::Relaxed);
         // Trusted: the decomposition was validated (or is valid by
         // construction) at registration.
-        let encoding = treelineage_encoding::encode_trusted(&entry.instance, &entry.decomposition)
-            .map_err(EngineError::Encoding)?;
+        let encoding = treelineage_encoding::encode_traced(
+            &entry.instance,
+            &entry.decomposition,
+            &self.config.telemetry,
+        )
+        .map_err(EngineError::Encoding)?;
         let arc = Arc::new(encoding);
         *slot = Some(arc.clone());
         Ok(arc)
@@ -845,6 +1128,7 @@ impl EvalSession {
                 .map_err(|e| EngineError::Encoding(EncodingError::Alphabet(e)))?;
         let options = CompileOptions {
             state_budget: self.config.state_budget,
+            telemetry: self.config.telemetry.clone(),
         };
         let machine = compile_ucq(&self.queries[query], &alphabet, options)
             .map_err(EngineError::QueryCompile)?;
@@ -1100,10 +1384,17 @@ mod tests {
                 assert!(r.is_ok(), "request {k} should have survived");
             }
         }
+        // The panic is visible in the stats: one panicked request, one
+        // errored request (previously it counted as served, invisibly).
+        assert_eq!(session.stats().worker_panics, 1);
+        assert_eq!(session.stats().errors, 1);
         // The session (its caches, locks, and pool) stays fully usable.
         let clean = session.batch_probability(&requests[..2]);
         assert_eq!(clean[0], results[0]);
         assert_eq!(clean[1], results[1]);
+        // The clean batch adds no panics and no errors.
+        assert_eq!(session.stats().worker_panics, 1);
+        assert_eq!(session.stats().errors, 1);
     }
 
     #[test]

@@ -1,0 +1,283 @@
+//! Telemetry-neutrality differential suite (PR 7): instrumentation must
+//! *observe* the pipeline, never steer it.
+//!
+//! Three contracts are pinned:
+//!
+//! * **byte-identical artifacts** — compiling with an enabled [`Telemetry`]
+//!   sink produces gate-for-gate, vtree-node-for-vtree-node the artifact of
+//!   the disabled (default) sink, at `threads ∈ {1, 8}`; on the shared-dd
+//!   backend the per-shard node counts and all answers are equal too;
+//! * **counter monotonicity** — request and cache counters only grow across
+//!   repeated batches, and grow by exactly the batch size where the schema
+//!   promises it;
+//! * **export stability** — `EvalSession::metrics()` reports the stage
+//!   spans, per-tier decision counts, and cache occupancy the run implies,
+//!   and the JSON-lines serialization of the merged snapshot round-trips.
+
+use proptest::prelude::*;
+use treelineage::prelude::*;
+use treelineage::{ProbabilityRequest, ThresholdRequest};
+use treelineage_automata::strategies as tree_strategies;
+use treelineage_engine::compile_structured_dnnf_parallel;
+use treelineage_instance::strategies as instance_strategies;
+
+fn sig() -> Signature {
+    Signature::builder()
+        .relation("R", 2)
+        .relation("S", 2)
+        .relation("L", 1)
+        .build()
+}
+
+fn query() -> UnionOfConjunctiveQueries {
+    parse_query(&sig(), "R(x, y), S(y, z)").unwrap()
+}
+
+fn config(threads: usize, telemetry: Telemetry) -> EngineConfig {
+    EngineConfig {
+        telemetry,
+        fragment_grain: 6,
+        ..EngineConfig::with_threads(threads)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Enabled vs disabled telemetry: byte-identical d-SDNNF artifacts at
+    /// 1 and 8 threads (gates, operand order, output, vtree, universe).
+    #[test]
+    fn compiled_artifacts_ignore_telemetry(
+        tree in tree_strategies::uncertain_tree(48, 3),
+        automaton in tree_strategies::deterministic_automaton(3, 4),
+    ) {
+        for threads in [1usize, 8] {
+            let plain = match compile_structured_dnnf_parallel(
+                &automaton,
+                &tree,
+                &config(threads, Telemetry::disabled()),
+            ) {
+                Ok(p) => p,
+                // Invalid tree/automaton pairs must fail identically.
+                Err(e) => {
+                    let traced = compile_structured_dnnf_parallel(
+                        &automaton,
+                        &tree,
+                        &config(threads, Telemetry::enabled()),
+                    );
+                    prop_assert_eq!(e.to_string(), traced.unwrap_err().to_string());
+                    continue;
+                }
+            };
+            let traced = compile_structured_dnnf_parallel(
+                &automaton,
+                &tree,
+                &config(threads, Telemetry::enabled()),
+            )
+            .unwrap();
+            let (pc, tc) = (
+                plain.structured().dnnf().circuit(),
+                traced.structured().dnnf().circuit(),
+            );
+            prop_assert_eq!(pc.size(), tc.size(), "threads={}", threads);
+            for id in pc.gate_ids() {
+                prop_assert_eq!(pc.gate(id), tc.gate(id), "gate {:?}, threads={}", id, threads);
+            }
+            prop_assert_eq!(pc.output(), tc.output());
+            let (pv, tv) = (plain.structured().vtree(), traced.structured().vtree());
+            prop_assert_eq!(pv.node_count(), tv.node_count());
+            for i in 0..pv.node_count() {
+                prop_assert_eq!(
+                    pv.node(treelineage_circuit::VtreeId(i)),
+                    tv.node(treelineage_circuit::VtreeId(i))
+                );
+            }
+            prop_assert_eq!(pv.root(), tv.root());
+            prop_assert_eq!(plain.structured().universe(), traced.structured().universe());
+        }
+    }
+
+    /// End-to-end session runs: equal batch answers with telemetry on and
+    /// off, on both session backends — and equal dd-shard node counts (the
+    /// shared-dd artifact, observed through the new stats surface).
+    #[test]
+    fn session_answers_ignore_telemetry(
+        (inst, td) in instance_strategies::treelike_instance_with_decomposition(sig(), 7, 2),
+    ) {
+        prop_assume!(inst.fact_count() > 0 && inst.fact_count() <= 10);
+        let probs: Vec<f64> =
+            (0..inst.fact_count()).map(|i| [0.5, 0.25, 0.75][i % 3]).collect();
+        let valuation = ProbabilityValuation::from_f64(&inst, &probs);
+        for threads in [1usize, 8] {
+            for backend in [SessionBackend::Automaton, SessionBackend::SharedDd] {
+                let run = |telemetry: Telemetry| {
+                    let mut session =
+                        EvalSession::with_backend(config(threads, telemetry), backend);
+                    let qid = session.register_query(query());
+                    let iid = session
+                        .register_instance_with_decomposition(inst.clone(), td.clone())
+                        .unwrap();
+                    let requests: Vec<ProbabilityRequest> = (0..3)
+                        .map(|_| ProbabilityRequest {
+                            query: qid,
+                            instance: iid,
+                            valuation: valuation.clone(),
+                        })
+                        .collect();
+                    let answers = session.batch_probability(&requests);
+                    let counts = session.batch_model_count(&[(qid, iid)]);
+                    let shards: Vec<usize> = session
+                        .dd_shard_stats()
+                        .into_iter()
+                        .map(|(_, s)| s.node_count)
+                        .collect();
+                    (answers, counts, shards)
+                };
+                let plain = run(Telemetry::disabled());
+                let traced = run(Telemetry::enabled());
+                prop_assert_eq!(&plain, &traced, "{:?}, threads={}", backend, threads);
+            }
+        }
+    }
+}
+
+/// Request and cache counters are monotone across repeated batches, and the
+/// request counter advances by exactly the batch size.
+#[test]
+fn counters_are_monotone_across_batches() {
+    let telemetry = Telemetry::enabled();
+    let mut session = EvalSession::new(config(2, telemetry));
+    let qid = session.register_query(query());
+    let mut inst = Instance::new(sig());
+    for i in 0..6u64 {
+        inst.add_fact_by_name("R", &[i, i + 1]);
+        inst.add_fact_by_name("S", &[i + 1, i + 2]);
+    }
+    let iid = session.register_instance(inst.clone());
+    let valuation = ProbabilityValuation::all_one_half(&inst);
+    let requests: Vec<ProbabilityRequest> = (0..4)
+        .map(|_| ProbabilityRequest {
+            query: qid,
+            instance: iid,
+            valuation: valuation.clone(),
+        })
+        .collect();
+    let mut last_stats = session.stats();
+    let mut last_requests_total = 0u64;
+    let mut last_pool_tasks = 0u64;
+    for round in 0..3 {
+        let results = session.batch_probability(&requests);
+        assert!(results.iter().all(|r| r.is_ok()));
+        let stats = session.stats();
+        assert_eq!(stats.requests, last_stats.requests + requests.len());
+        assert!(stats.lineage_hits >= last_stats.lineage_hits);
+        assert_eq!(stats.lineage_misses, 1, "round {round}: one compile ever");
+        assert_eq!(stats.errors, 0);
+        let snap = session.metrics();
+        let requests_total = snap.counter_total("requests_total");
+        assert_eq!(requests_total, last_requests_total + requests.len() as u64);
+        let pool_tasks = snap.counter_total("pool_tasks_total");
+        assert!(
+            pool_tasks >= last_pool_tasks + requests.len() as u64,
+            "round {round}: pool ran every request task"
+        );
+        last_stats = stats;
+        last_requests_total = requests_total;
+        last_pool_tasks = pool_tasks;
+    }
+}
+
+/// The merged metrics surface: stage spans, per-tier decision counts, cache
+/// occupancy, and both export formats.
+#[test]
+fn metrics_report_stages_tiers_and_caches() {
+    let telemetry = Telemetry::enabled();
+    let mut session = EvalSession::with_backend(config(2, telemetry), SessionBackend::FloatFirst);
+    let qid = session.register_query(query());
+    let mut inst = Instance::new(sig());
+    for i in 0..5u64 {
+        inst.add_fact_by_name("R", &[i, i + 1]);
+        inst.add_fact_by_name("S", &[i + 1, i + 2]);
+    }
+    let iid = session.register_instance(inst.clone());
+    let valuation = ProbabilityValuation::all_one_half(&inst);
+    let decisions = session.batch_threshold(&[
+        ThresholdRequest {
+            query: qid,
+            instance: iid,
+            valuation: valuation.clone(),
+            threshold: Rational::from_ratio_u64(1, 1000),
+        },
+        ThresholdRequest {
+            query: qid,
+            instance: iid,
+            valuation: valuation.clone(),
+            threshold: Rational::from_ratio_u64(999, 1000),
+        },
+    ]);
+    assert!(decisions.iter().all(|d| d.is_ok()));
+
+    let snap = session.metrics();
+    // Stage spans: the pipeline ran encode → query compile → automaton
+    // materialization → d-SDNNF compilation (sequential or fragmented).
+    for stage in ["encode", "query_compile", "automaton_materialize"] {
+        let agg = snap
+            .span(stage)
+            .unwrap_or_else(|| panic!("missing span {stage:?}"));
+        assert!(agg.count >= 1, "{stage}: {agg:?}");
+        assert!(agg.min_ns <= agg.max_ns);
+    }
+    assert!(
+        snap.span("dsdnnf_compile").is_some() || snap.span("dsdnnf_merge").is_some(),
+        "one of the d-SDNNF compile paths must have run"
+    );
+    // Per-tier decision counts: both clear thresholds were float decisions.
+    assert_eq!(
+        snap.counter(
+            "requests_total",
+            &[("kind", "threshold"), ("tier", "float")]
+        ),
+        Some(2)
+    );
+    // Latency histogram on the same labels.
+    let hist = snap
+        .histograms
+        .iter()
+        .find(|h| h.name == "request_latency_ns")
+        .expect("latency histogram");
+    assert_eq!(hist.count, 2);
+    // Session counters and cache gauges merged in.
+    assert_eq!(snap.counter("session_requests_total", &[]), Some(2));
+    assert_eq!(snap.counter("session_float_decisions_total", &[]), Some(2));
+    assert_eq!(snap.gauge("lineage_cache_entries", &[]), Some(1));
+    assert!(snap.gauge("lineage_cache_capacity", &[]).unwrap() >= 1);
+    assert_eq!(snap.gauge("instance_encodings", &[]), Some(1));
+    let occupancy = session.cache_occupancy();
+    assert_eq!(occupancy.lineage_entries, 1);
+    assert_eq!(occupancy.encodings, 1);
+    assert_eq!(occupancy.dd_shards, 0);
+    // The automaton state gauge was set during query compilation.
+    assert!(snap.gauge("query_states", &[]).unwrap() > 0);
+
+    // Export: JSON-lines round-trips the merged snapshot; the Prometheus
+    // text names the key series.
+    let round = MetricsSnapshot::from_json_lines(&snap.to_json_lines()).unwrap();
+    assert_eq!(round, snap);
+    let prom = snap.to_prometheus();
+    assert!(prom.contains("# TYPE requests_total counter"));
+    assert!(prom.contains("session_requests_total 2"));
+    assert!(prom.contains("span_count{span=\"encode\"}"));
+    assert!(prom.contains("request_latency_ns_bucket"));
+
+    // A shared-dd session additionally reports per-shard stats.
+    let mut dd =
+        EvalSession::with_backend(config(1, Telemetry::enabled()), SessionBackend::SharedDd);
+    let q2 = dd.register_query(query());
+    let i2 = dd.register_instance(inst);
+    let counts = dd.batch_model_count(&[(q2, i2)]);
+    assert!(counts[0].is_ok());
+    let dd_snap = dd.metrics();
+    assert!(dd_snap.gauge("dd_nodes", &[("shard", "0")]).unwrap() > 0);
+    assert_eq!(dd.cache_occupancy().dd_shards, 1);
+    assert_eq!(dd.dd_shard_stats().len(), 1);
+}
