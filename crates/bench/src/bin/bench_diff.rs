@@ -1,0 +1,426 @@
+//! Perf-regression gate: compares two bench baseline JSON files
+//! (`BENCH_pr*.json`) and fails when a named headline number regressed.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_diff <old.json> <new.json> [--limit=<percent>] [dotted.path ...]
+//! ```
+//!
+//! Each `dotted.path` names a number in both documents (e.g.
+//! `telemetry_overhead_ms.exact_batch_16.instrumented`); with no explicit
+//! paths the default headline rows below are compared. The tool exits
+//! nonzero when any compared number grew by more than the limit (default
+//! 25%, chosen well above the single-core container's ~5% run-to-run
+//! noise) or when a named path is missing from either file — a renamed or
+//! dropped headline row must update the gate, not silently pass it.
+//!
+//! The baseline files carry floats, which the telemetry crate's
+//! integer-only JSON parser deliberately rejects — so this binary brings
+//! its own minimal float-tolerant reader (std-only, like everything else
+//! in the workspace).
+
+use std::process::ExitCode;
+
+/// Default headline rows: the instrumented serving/compile timings the
+/// telemetry acceptance bars are stated against.
+const DEFAULT_PATHS: [&str; 3] = [
+    "telemetry_overhead_ms.exact_batch_16.instrumented",
+    "telemetry_overhead_ms.float_batch_16.instrumented",
+    "telemetry_overhead_ms.cold_compile_50.instrumented",
+];
+
+/// Regression limit (percent growth of a headline number) applied unless
+/// `--limit=` overrides it.
+const DEFAULT_LIMIT_PERCENT: f64 = 25.0;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files: Vec<&str> = Vec::new();
+    let mut paths: Vec<&str> = Vec::new();
+    let mut limit = DEFAULT_LIMIT_PERCENT;
+    for arg in &args {
+        if let Some(value) = arg.strip_prefix("--limit=") {
+            match value.parse::<f64>() {
+                Ok(v) if v.is_finite() && v > 0.0 => limit = v,
+                _ => {
+                    eprintln!("bench_diff: invalid --limit value {value:?}");
+                    return ExitCode::from(2);
+                }
+            }
+        } else if files.len() < 2 {
+            files.push(arg);
+        } else {
+            paths.push(arg);
+        }
+    }
+    if files.len() != 2 {
+        eprintln!("usage: bench_diff <old.json> <new.json> [--limit=<percent>] [dotted.path ...]");
+        return ExitCode::from(2);
+    }
+    if paths.is_empty() {
+        paths = DEFAULT_PATHS.to_vec();
+    }
+    let read = |path: &str| -> Option<Value> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("bench_diff: cannot read {path}: {e}");
+                return None;
+            }
+        };
+        match parse(&text) {
+            Ok(v) => Some(v),
+            Err(e) => {
+                eprintln!("bench_diff: {path}: {e}");
+                None
+            }
+        }
+    };
+    let (Some(old), Some(new)) = (read(files[0]), read(files[1])) else {
+        return ExitCode::from(2);
+    };
+    match diff(&old, &new, &paths, limit) {
+        Ok(report) => {
+            print!("{report}");
+            println!(
+                "bench_diff: all {} headline rows within {limit}%",
+                paths.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(failures) => {
+            eprint!("{failures}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Compares `paths` between the two documents. `Ok` carries the printable
+/// per-row report; `Err` carries the failure report (missing paths or
+/// regressions past `limit_percent`).
+fn diff(old: &Value, new: &Value, paths: &[&str], limit_percent: f64) -> Result<String, String> {
+    let mut report = String::new();
+    let mut failures = String::new();
+    for path in paths {
+        let (old_v, new_v) = (lookup(old, path), lookup(new, path));
+        let (Some(old_v), Some(new_v)) = (old_v, new_v) else {
+            failures.push_str(&format!(
+                "bench_diff: path {path:?} missing or non-numeric in {} file\n",
+                if lookup(old, path).is_none() {
+                    "old"
+                } else {
+                    "new"
+                }
+            ));
+            continue;
+        };
+        let delta_percent = if old_v == 0.0 {
+            if new_v == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (new_v - old_v) / old_v * 100.0
+        };
+        report.push_str(&format!(
+            "  {path}: {old_v} -> {new_v} ({delta_percent:+.1}%)\n"
+        ));
+        if delta_percent > limit_percent {
+            failures.push_str(&format!(
+                "bench_diff: REGRESSION {path}: {old_v} -> {new_v} \
+                 ({delta_percent:+.1}% > {limit_percent}%)\n"
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(report)
+    } else {
+        Err(format!("{report}{failures}"))
+    }
+}
+
+/// Resolves a dotted path to a number inside nested objects.
+fn lookup(value: &Value, path: &str) -> Option<f64> {
+    let mut cursor = value;
+    for key in path.split('.') {
+        cursor = match cursor {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)?,
+            _ => return None,
+        };
+    }
+    match cursor {
+        Value::Number(n) => Some(*n),
+        _ => None,
+    }
+}
+
+/// Minimal JSON value: just what the baseline files need.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+/// Parses one JSON document (float-tolerant, trailing whitespace allowed).
+fn parse(text: &str) -> Result<Value, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&byte) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", char::from(byte), *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Value::String(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Value::Null),
+        Some(_) => parse_number(bytes, pos),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &str,
+    value: Value,
+) -> Result<Value, String> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Value::Number)
+        .ok_or_else(|| format!("invalid number at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("invalid \\u escape at byte {}", *pos))?;
+                        // Surrogates are absent from the baseline files;
+                        // map unpaired ones to the replacement character.
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("invalid escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 character (the input is a &str, so
+                // boundaries are valid).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(bytes, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Object(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        fields.push((key, parse_value(bytes, pos)?));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Object(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_floats_strings_and_nesting() {
+        let doc =
+            parse(r#"{"a": {"b": [1, 2.5, -3e-2]}, "s": "x\"y\n", "t": true, "n": null}"#).unwrap();
+        assert_eq!(lookup(&doc, "a.b"), None, "arrays are not numbers");
+        match lookup(&doc, "a") {
+            None => {}
+            Some(v) => panic!("object resolved as number {v}"),
+        }
+        let Value::Object(fields) = &doc else {
+            panic!("top level must be an object")
+        };
+        assert_eq!(fields[1].0, "s");
+        assert_eq!(fields[1].1, Value::String("x\"y\n".to_string()));
+        let Value::Object(a) = &fields[0].1 else {
+            panic!()
+        };
+        assert_eq!(
+            a[0].1,
+            Value::Array(vec![
+                Value::Number(1.0),
+                Value::Number(2.5),
+                Value::Number(-0.03)
+            ])
+        );
+    }
+
+    #[test]
+    fn parses_the_checked_in_baseline() {
+        let text =
+            std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr7.json"))
+                .unwrap();
+        let doc = parse(&text).unwrap();
+        for path in DEFAULT_PATHS {
+            assert!(
+                lookup(&doc, path).is_some(),
+                "headline path {path:?} must resolve in BENCH_pr7.json"
+            );
+        }
+        assert_eq!(
+            lookup(&doc, "telemetry_overhead_ms.exact_batch_16.noop"),
+            Some(810.2)
+        );
+    }
+
+    fn baseline(values: [f64; 2]) -> Value {
+        Value::Object(vec![(
+            "rows".to_string(),
+            Value::Object(vec![
+                ("fast".to_string(), Value::Number(values[0])),
+                ("slow".to_string(), Value::Number(values[1])),
+            ]),
+        )])
+    }
+
+    #[test]
+    fn accepts_improvements_and_noise_within_limit() {
+        let old = baseline([100.0, 10.0]);
+        let new = baseline([110.0, 7.5]);
+        let report = diff(&old, &new, &["rows.fast", "rows.slow"], 25.0).unwrap();
+        assert!(report.contains("rows.fast: 100 -> 110 (+10.0%)"));
+        assert!(report.contains("rows.slow: 10 -> 7.5 (-25.0%)"));
+    }
+
+    #[test]
+    fn rejects_regressions_past_the_limit() {
+        let old = baseline([100.0, 10.0]);
+        let new = baseline([130.0, 10.0]);
+        let failures = diff(&old, &new, &["rows.fast", "rows.slow"], 25.0).unwrap_err();
+        assert!(failures.contains("REGRESSION rows.fast"));
+        assert!(failures.contains("+30.0% > 25%"));
+    }
+
+    #[test]
+    fn rejects_missing_paths() {
+        let old = baseline([100.0, 10.0]);
+        let new = baseline([100.0, 10.0]);
+        let failures = diff(&old, &new, &["rows.gone"], 25.0).unwrap_err();
+        assert!(failures.contains("missing or non-numeric"));
+    }
+
+    #[test]
+    fn exact_boundary_is_not_a_regression() {
+        let old = baseline([100.0, 10.0]);
+        let new = baseline([125.0, 10.0]);
+        assert!(diff(&old, &new, &["rows.fast"], 25.0).is_ok());
+    }
+}

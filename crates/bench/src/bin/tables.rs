@@ -24,6 +24,7 @@ fn main() {
     dichotomies();
     engine_section();
     telemetry_section();
+    tracing_section();
 }
 
 fn header(title: &str) {
@@ -637,6 +638,40 @@ fn telemetry_section() {
             c.value
         );
     }
+    println!(
+        "  span ring: {} events dropped under capacity pressure",
+        snap.counter("telemetry_dropped_span_events_total", &[])
+            .unwrap_or(0)
+    );
+
+    println!("\n  request latency quantiles by (kind, tier):");
+    for h in snap
+        .histograms
+        .iter()
+        .filter(|h| h.name == "request_latency_ns")
+    {
+        let label = |key: &str| {
+            h.labels
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_default()
+        };
+        let quantile = |q: f64| match h.quantile(q) {
+            Some(u64::MAX) => "+Inf".to_string(),
+            Some(bound) => format!("{:.3}ms", bound as f64 / 1e6),
+            None => "-".to_string(),
+        };
+        println!(
+            "  {:>24} {:>12} p50<={:>10} p95<={:>10} p99<={:>10}",
+            label("kind"),
+            label("tier"),
+            quantile(0.50),
+            quantile(0.95),
+            quantile(0.99)
+        );
+    }
+
     let occupancy = session.cache_occupancy();
     println!(
         "  caches: lineage {}/{}, query machines {}/{}, encodings {}, dd shards {}",
@@ -672,4 +707,95 @@ fn telemetry_section() {
     for line in prometheus.lines().take(3) {
         println!("    {line}");
     }
+}
+
+/// E-10: request-scoped tracing. One instrumented session serves a cold
+/// `explain()` and a warm batch; the section prints the per-request
+/// EXPLAIN report (stable JSON), the flight recorder's slowest retained
+/// traces, and the head of the Chrome-trace/Perfetto export of the drained
+/// span ring — the artifact that opens directly in ui.perfetto.dev. The
+/// cross-thread parenting contract (one connected trace per request at any
+/// thread count) is pinned by `tests/tracing_differential.rs`.
+fn tracing_section() {
+    use treelineage::ProbabilityRequest;
+    use treelineage_engine::to_chrome_trace;
+
+    let threads: usize = std::env::var("TREELINEAGE_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    header(&format!(
+        "E-10: request-scoped tracing (threads = {threads})"
+    ));
+    let telemetry = Telemetry::enabled();
+    let config = EngineConfig {
+        telemetry: telemetry.clone(),
+        // Retain every request of this small demo in the flight recorder.
+        flight_recorder_threshold_ns: 0,
+        flight_recorder_capacity: 4,
+        ..EngineConfig::with_threads(threads)
+    };
+
+    let sig = Signature::builder()
+        .relation("R", 1)
+        .relation("S", 2)
+        .relation("T", 1)
+        .build();
+    let q = parse_query(&sig, "R(x), S(x, y), T(y)").unwrap();
+    let mut inst = Instance::new(sig);
+    for i in 0..60u64 {
+        inst.add_fact_by_name("R", &[i]);
+        inst.add_fact_by_name("S", &[i, i + 1]);
+        inst.add_fact_by_name("T", &[i + 1]);
+    }
+    let mut session = EvalSession::with_backend(config, SessionBackend::FloatFirst);
+    let qid = session.register_query(q);
+    let iid = session.register_instance(inst.clone());
+    let valuation = ProbabilityValuation::from_probabilities(
+        &inst,
+        (0..inst.fact_count())
+            .map(|f| Rational::from_ratio_u64(1, (f as u64 % 3) + 2))
+            .collect(),
+    );
+    let request = ProbabilityRequest {
+        query: qid,
+        instance: iid,
+        valuation: valuation.clone(),
+    };
+
+    let cold = session.explain(&request).expect("explain serves");
+    println!("\n  cold explain() (compiles, then reports where the time went):");
+    println!("    {}", cold.to_json());
+    let warm = session.explain(&request).expect("explain serves warm");
+    println!("  warm explain() (every cache layer resident):");
+    println!("    {}", warm.to_json());
+
+    let batch: Vec<ProbabilityRequest> = (0..8).map(|_| request.clone()).collect();
+    assert!(session
+        .batch_probability_f64(&batch)
+        .iter()
+        .all(|r| r.is_ok()));
+
+    println!("\n  flight recorder (slowest retained requests):");
+    for slow in session.slow_requests() {
+        println!(
+            "    {:>15} tier={:<11} {:>10.3}ms trace={} ({} spans kept)",
+            slow.kind,
+            slow.tier.as_str(),
+            slow.duration_ns as f64 / 1e6,
+            slow.trace,
+            slow.spans.len()
+        );
+    }
+
+    let events = telemetry.drain_events();
+    let rendered = to_chrome_trace(&events);
+    println!(
+        "\n  Perfetto export: {} span events, {} bytes of trace_events JSON \
+         (open in ui.perfetto.dev); head:",
+        events.len(),
+        rendered.len()
+    );
+    let head: String = rendered.chars().take(160).collect();
+    println!("    {head}...");
 }

@@ -40,10 +40,14 @@ pub use parallel::{
     compile_structured_dnnf_parallel, parallel_reachable_states, CircuitPartition, ParallelDnnf,
 };
 pub use session::{
-    CacheOccupancy, DecisionTier, EngineError, EvalSession, InstanceId, ProbabilityRequest,
-    QueryId, SessionBackend, SessionStats, ThresholdDecision, ThresholdRequest, WmcRequest,
+    CacheOccupancy, DecisionTier, EngineError, EvalSession, ExplainReport, InstanceId,
+    ProbabilityRequest, QueryId, SessionBackend, SessionStats, SlowRequest, StageTiming,
+    ThresholdDecision, ThresholdRequest, WmcRequest,
 };
-pub use treelineage_telemetry::{MetricsSnapshot, Registry, Span, SpanEvent, Telemetry};
+pub use treelineage_telemetry::{
+    to_chrome_trace, ContextGuard, MetricsSnapshot, Registry, Span, SpanContext, SpanEvent,
+    Telemetry,
+};
 
 use treelineage_dd::order::order_by_first_covering_bag;
 use treelineage_graph::TreeDecomposition;
@@ -99,6 +103,15 @@ pub struct EngineConfig {
     /// single branches (no clock reads, no allocation), and under which
     /// compiled artifacts are byte-identical to an instrumented run.
     pub telemetry: Telemetry,
+    /// How many slow requests the session's flight recorder retains
+    /// ([`EvalSession::slow_requests`]): the N slowest requests past the
+    /// latency threshold, each with the full span subtree of its trace.
+    /// `0` disables the recorder. Inert while telemetry is disabled (no
+    /// spans, no clock reads). Default `8`.
+    pub flight_recorder_capacity: usize,
+    /// Latency threshold (nanoseconds) past which a finished request
+    /// competes for a flight-recorder slot. Default `10_000_000` (10 ms).
+    pub flight_recorder_threshold_ns: u64,
 }
 
 impl Default for EngineConfig {
@@ -113,6 +126,8 @@ impl Default for EngineConfig {
             epsilon: 0.01,
             delta: 0.01,
             telemetry: Telemetry::disabled(),
+            flight_recorder_capacity: 8,
+            flight_recorder_threshold_ns: 10_000_000,
         }
     }
 }

@@ -345,6 +345,11 @@ pub(crate) fn compile_with_pool(
         let mut span = telemetry.span("dsdnnf_fragments");
         span.label("fragments", plan.cuts.len());
         run_tasks(pool_threads, plan.cuts.len(), telemetry, |i| {
+            // On a pool worker this parents to the `dsdnnf_fragments` span
+            // through the context captured at spawn time; inline it nests
+            // via the caller's span stack. Either way: one connected trace.
+            let mut fragment_span = telemetry.span("dsdnnf_fragment");
+            fragment_span.label("fragment", i);
             compile_fragment(automaton, tree, plan.cuts[i], states)
         })
     };
@@ -968,6 +973,8 @@ fn run_pass<P: GatePass>(
     let mut values: Vec<Option<P::Value>> = vec![None; n];
     if threads > 1 && partition.fragments.len() > 1 {
         let chunks = run_tasks(threads, partition.fragments.len(), telemetry, |fi| {
+            let mut chunk_span = telemetry.span("eval_fragment");
+            chunk_span.label("fragment", fi);
             let (start, end) = partition.fragments[fi];
             let cfalse = pass.constant(false);
             let ctrue = pass.constant(true);

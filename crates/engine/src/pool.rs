@@ -128,6 +128,12 @@ where
         return results;
     }
     let workers = threads.min(count);
+    // Capture the caller's span context at spawn time: workers install it
+    // as their ambient context, so any span a task opens parents back to
+    // the span that enqueued the work instead of starting an orphan trace.
+    // (The inline path above needs nothing — the caller's own span stack
+    // is already in place.)
+    let span_context = telemetry.current_context();
     // Deal tasks round-robin so every worker starts with a share.
     let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
         .map(|w| Mutex::new((w..count).step_by(workers).collect()))
@@ -139,6 +145,7 @@ where
             let slots = &slots;
             let guarded = &guarded;
             scope.spawn(move || {
+                let _context_guard = telemetry.install_context(span_context);
                 let mut ran: u64 = 0;
                 let mut stolen: u64 = 0;
                 loop {
@@ -304,6 +311,35 @@ mod tests {
                 .counter("pool_tasks_total", &[("worker", "inline")]),
             Some(5)
         );
+    }
+
+    #[test]
+    fn worker_spans_parent_to_the_spawning_context() {
+        // The regression this pins: span parenting used to ride only a
+        // thread-local stack, so spans opened by pool workers came out as
+        // orphan roots. With context capture at spawn time they must all
+        // parent to the span that was open at the `run_tasks` call.
+        let telemetry = Telemetry::enabled();
+        let root = telemetry.span("root");
+        let root_ctx = root.context().unwrap();
+        let out = run_tasks(8, 16, &telemetry, |i| {
+            let mut span = telemetry.span("task");
+            span.label("task", i);
+            i
+        });
+        assert_eq!(out.len(), 16);
+        drop(root);
+        let events = telemetry.drain_events();
+        let tasks: Vec<_> = events.iter().filter(|e| e.name == "task").collect();
+        assert_eq!(tasks.len(), 16);
+        for task in tasks {
+            assert_eq!(
+                task.parent,
+                Some(root_ctx.span),
+                "pool-worker span detached from the spawning request"
+            );
+            assert_eq!(task.trace, root_ctx.trace);
+        }
     }
 
     #[test]

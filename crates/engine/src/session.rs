@@ -49,7 +49,7 @@ use treelineage_graph::TreeDecomposition;
 use treelineage_instance::{FactId, Instance, ProbabilityValuation};
 use treelineage_num::{BigUint, ErrorInterval, Rational};
 use treelineage_query::{matching, UnionOfConjunctiveQueries};
-use treelineage_telemetry::MetricsSnapshot;
+use treelineage_telemetry::{MetricsSnapshot, Span, SpanEvent};
 
 /// Handle to an instance registered with an [`EvalSession`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
@@ -97,6 +97,18 @@ pub enum SessionBackend {
     FloatFirst,
 }
 
+impl SessionBackend {
+    /// Stable lowercase name of the backend, used by [`ExplainReport`] and
+    /// the telemetry surfaces.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SessionBackend::Automaton => "automaton",
+            SessionBackend::SharedDd => "shared_dd",
+            SessionBackend::FloatFirst => "float_first",
+        }
+    }
+}
+
 /// Errors reported per request by the batch methods. Requests that share a
 /// failing (query, instance) pair share the (cloned) error.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -115,6 +127,11 @@ pub enum EngineError {
     /// message). The panic is contained to the request: other requests of
     /// the batch and the session itself stay fully usable.
     WorkerPanicked(String),
+    /// The request itself is malformed (unknown query/instance handle, or a
+    /// valuation that does not cover the instance). Reported by entry
+    /// points that validate on the caller's thread, such as
+    /// [`EvalSession::explain`], instead of panicking a worker.
+    InvalidRequest(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -125,6 +142,7 @@ impl std::fmt::Display for EngineError {
             EngineError::QueryCompile(e) => write!(f, "query compilation failed: {e}"),
             EngineError::Provenance(e) => write!(f, "provenance compilation failed: {e}"),
             EngineError::WorkerPanicked(e) => write!(f, "worker task panicked: {e}"),
+            EngineError::InvalidRequest(e) => write!(f, "invalid request: {e}"),
         }
     }
 }
@@ -214,6 +232,161 @@ pub struct ThresholdDecision {
     pub interval: ErrorInterval,
 }
 
+/// One slow request retained by the session's flight recorder: the request
+/// classification, its latency, and the full span subtree of its trace
+/// (every span the request opened, on any thread), captured at completion
+/// time so the spans survive later ring eviction.
+#[derive(Clone, Debug)]
+pub struct SlowRequest {
+    /// The request kind (`"probability"`, `"threshold"`, ... — the same
+    /// `kind` label as `requests_total`).
+    pub kind: &'static str,
+    /// The tier that served the request.
+    pub tier: DecisionTier,
+    /// End-to-end latency of the request.
+    pub duration_ns: u64,
+    /// The request's trace id (usable with
+    /// [`Telemetry::events_for_trace`](treelineage_telemetry::Telemetry::events_for_trace)
+    /// and as the `pid` track in a Chrome-trace export).
+    pub trace: u64,
+    /// The finished spans of the trace at capture time, including labels.
+    pub spans: Vec<SpanEvent>,
+}
+
+/// Wall-clock aggregate of one pipeline stage inside a single request's
+/// trace (one entry per distinct span name), reported by
+/// [`EvalSession::explain`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageTiming {
+    /// The span name of the stage (e.g. `"tree_encode"`, `"dsdnnf_compile"`).
+    pub name: &'static str,
+    /// How many spans of that name the request opened.
+    pub count: u64,
+    /// Total duration across those spans.
+    pub total_ns: u64,
+}
+
+/// A structured per-request report from [`EvalSession::explain`]: which
+/// backend and tier served the request, what each cache layer contributed,
+/// the sizes of the compiled artifacts involved, and where the time went
+/// (per-stage durations aggregated from the request's own spans).
+/// [`ExplainReport::to_json`] renders it stably for log pipelines and the
+/// `tables` experiment binary.
+#[derive(Clone, Debug)]
+pub struct ExplainReport {
+    /// The serving backend ([`SessionBackend::as_str`]).
+    pub backend: &'static str,
+    /// The tier that produced the answer.
+    pub tier: DecisionTier,
+    /// The probability estimate (exact value for exact tiers, interval
+    /// midpoint for [`DecisionTier::Float`], point estimate for
+    /// [`DecisionTier::MonteCarlo`]).
+    pub estimate: f64,
+    /// Width of the enclosure the estimate came with (0 for exact tiers).
+    pub interval_width: f64,
+    /// Whether the instance's tree encoding was already cached when the
+    /// request arrived.
+    pub encoding_cached: bool,
+    /// Whether the compiled query machine was already cached.
+    pub machine_cached: bool,
+    /// Whether the lineage artifact (d-SDNNF, or dd root on
+    /// [`SessionBackend::SharedDd`]) was already cached.
+    pub lineage_cached: bool,
+    /// Deterministic states of the compiled query machine (automaton
+    /// backends only).
+    pub automaton_states: Option<usize>,
+    /// Gate count of the compiled d-SDNNF (automaton backends only).
+    pub gates: Option<usize>,
+    /// Node count of the vtree structuring the d-SDNNF (automaton backends
+    /// only).
+    pub vtree_nodes: Option<usize>,
+    /// Fragments of the circuit partition available to fragment-parallel
+    /// evaluation (automaton backends only).
+    pub fragments: Option<usize>,
+    /// Node count of the instance's dd shard
+    /// ([`SessionBackend::SharedDd`] only).
+    pub dd_nodes: Option<usize>,
+    /// The request's trace id, `None` when telemetry is disabled.
+    pub trace: Option<u64>,
+    /// End-to-end duration of the request span (0 when telemetry is
+    /// disabled).
+    pub total_ns: u64,
+    /// Per-stage durations aggregated from the request's spans, sorted by
+    /// stage name. Empty when telemetry is disabled.
+    pub stages: Vec<StageTiming>,
+}
+
+impl ExplainReport {
+    /// Renders the report as one stable JSON object (fixed key order,
+    /// `None` artifact fields omitted), suitable for structured logs.
+    pub fn to_json(&self) -> String {
+        fn push_escaped(out: &mut String, text: &str) {
+            out.push('"');
+            for c in text.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => {
+                        out.push_str(&format!("\\u{:04x}", c as u32));
+                    }
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        let mut out = String::from("{\"backend\":");
+        push_escaped(&mut out, self.backend);
+        out.push_str(",\"tier\":");
+        push_escaped(&mut out, self.tier.as_str());
+        // `{:?}` on finite f64 is shortest-roundtrip and valid JSON.
+        out.push_str(&format!(",\"estimate\":{:?}", self.estimate));
+        out.push_str(&format!(",\"interval_width\":{:?}", self.interval_width));
+        out.push_str(&format!(
+            ",\"cache\":{{\"encoding\":{},\"machine\":{},\"lineage\":{}}}",
+            self.encoding_cached, self.machine_cached, self.lineage_cached
+        ));
+        out.push_str(",\"artifact\":{");
+        let mut first = true;
+        for (key, value) in [
+            ("automaton_states", self.automaton_states),
+            ("gates", self.gates),
+            ("vtree_nodes", self.vtree_nodes),
+            ("fragments", self.fragments),
+            ("dd_nodes", self.dd_nodes),
+        ] {
+            if let Some(value) = value {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!("\"{key}\":{value}"));
+            }
+        }
+        out.push('}');
+        if let Some(trace) = self.trace {
+            out.push_str(&format!(",\"trace\":{trace}"));
+        }
+        out.push_str(&format!(",\"total_ns\":{}", self.total_ns));
+        out.push_str(",\"stages\":[");
+        for (i, stage) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            push_escaped(&mut out, stage.name);
+            out.push_str(&format!(
+                ",\"count\":{},\"total_ns\":{}}}",
+                stage.count, stage.total_ns
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
 /// Cache effectiveness counters of an [`EvalSession`] (monotone since the
 /// session was created).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -244,6 +417,17 @@ pub struct SessionStats {
     /// result. Previously panicked requests were silently counted as served;
     /// `requests == errors + successes` now holds per batch.
     pub errors: usize,
+}
+
+/// Artifact sizes collected while serving an [`EvalSession::explain`]
+/// request; which fields are populated depends on the backend.
+#[derive(Default)]
+struct ArtifactStats {
+    automaton_states: Option<usize>,
+    gates: Option<usize>,
+    vtree_nodes: Option<usize>,
+    fragments: Option<usize>,
+    dd_nodes: Option<usize>,
 }
 
 #[derive(Default)]
@@ -291,6 +475,13 @@ impl<K: Ord + Clone, V: Clone> CacheMap<K, V> {
             *last_used = stamp;
             value.clone()
         })
+    }
+
+    /// Whether `key` is resident, *without* refreshing its recency stamp —
+    /// for observability probes ([`EvalSession::explain`]) that must not
+    /// perturb the eviction order they are reporting on.
+    fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
     }
 
     fn insert(&mut self, key: K, value: V) {
@@ -370,6 +561,9 @@ pub struct EvalSession {
     /// Compiled lineages, keyed by (query, instance).
     lineages: Mutex<CacheMap<(usize, usize), Arc<ParallelDnnf>>>,
     counters: Counters,
+    /// Flight recorder: the N slowest requests past the latency threshold,
+    /// sorted slowest-first (see [`EngineConfig::flight_recorder_capacity`]).
+    flight: Mutex<Vec<SlowRequest>>,
 }
 
 /// Query-machine cache: (query, width) → shared, lockable [`CompiledQuery`].
@@ -398,6 +592,7 @@ impl EvalSession {
             instances: Vec::new(),
             queries: Vec::new(),
             counters: Counters::default(),
+            flight: Mutex::new(Vec::new()),
         }
     }
 
@@ -618,6 +813,7 @@ impl EvalSession {
                     &self.config.telemetry,
                     |i| {
                         let started = self.timer();
+                        let span = self.request_span("probability");
                         let r = &requests[i];
                         self.check_valuation(r.instance, &r.valuation);
                         let lineage = artifacts[&(r.query.0, r.instance.0)].clone()?;
@@ -625,7 +821,7 @@ impl EvalSession {
                             &|v| r.valuation.probability(FactId(v)).clone(),
                             eval_threads,
                         );
-                        self.record_request("probability", DecisionTier::Exact, started);
+                        self.record_request("probability", DecisionTier::Exact, started, span);
                         Ok(p)
                     },
                 ))
@@ -636,12 +832,13 @@ impl EvalSession {
                 &self.config.telemetry,
                 |i| {
                     let started = self.timer();
+                    let span = self.request_span("probability");
                     let r = &requests[i];
                     self.check_valuation(r.instance, &r.valuation);
                     let p = self.dd_evaluate(r.query.0, r.instance.0, |manager, root| {
                         manager.probability(root, &|v| r.valuation.probability(FactId(v)).clone())
                     })?;
-                    self.record_request("probability", DecisionTier::Exact, started);
+                    self.record_request("probability", DecisionTier::Exact, started, span);
                     Ok(p)
                 },
             )),
@@ -699,19 +896,84 @@ impl EvalSession {
         }
     }
 
+    /// Opens the root span of one request's trace: every span the request
+    /// opens afterwards — on this thread or on pool workers that inherit
+    /// the context — parents into it, so the whole request renders as one
+    /// connected tree in the Chrome-trace export. A no-op guard when
+    /// telemetry is disabled.
+    fn request_span(&self, kind: &'static str) -> Span {
+        let mut span = self.config.telemetry.span_root("request");
+        span.label("kind", kind);
+        span
+    }
+
     /// Records one served request into the `requests_total{kind,tier}`
-    /// counter and the `request_latency_ns{kind,tier}` histogram.
-    fn record_request(&self, kind: &'static str, tier: DecisionTier, started: Option<Instant>) {
+    /// counter and the `request_latency_ns{kind,tier}` histogram, closing
+    /// its root span (so the span ring sees the finished request) and
+    /// feeding the flight recorder.
+    fn record_request(
+        &self,
+        kind: &'static str,
+        tier: DecisionTier,
+        started: Option<Instant>,
+        mut span: Span,
+    ) {
+        span.label("tier", tier.as_str());
+        let trace = span.context().map(|c| c.trace);
+        // Close the request span first so the flight recorder's trace
+        // lookup below sees it in the ring.
+        drop(span);
         if let Some(start) = started {
+            let duration_ns = start.elapsed().as_nanos() as u64;
             let labels = [("kind", kind), ("tier", tier.as_str())];
             let telemetry = &self.config.telemetry;
             telemetry.counter_add("requests_total", &labels, 1);
-            telemetry.observe_ns(
-                "request_latency_ns",
-                &labels,
-                start.elapsed().as_nanos() as u64,
-            );
+            telemetry.observe_ns("request_latency_ns", &labels, duration_ns);
+            if let Some(trace) = trace {
+                self.flight_record(kind, tier, duration_ns, trace);
+            }
         }
+    }
+
+    /// Offers one finished request to the flight recorder: requests at or
+    /// above [`EngineConfig::flight_recorder_threshold_ns`] compete for the
+    /// [`EngineConfig::flight_recorder_capacity`] slots, slowest kept. The
+    /// span subtree is snapshotted from the ring only when the request
+    /// actually qualifies, so the fast path never clones events.
+    fn flight_record(&self, kind: &'static str, tier: DecisionTier, duration_ns: u64, trace: u64) {
+        let capacity = self.config.flight_recorder_capacity;
+        if capacity == 0 || duration_ns < self.config.flight_recorder_threshold_ns {
+            return;
+        }
+        {
+            let flight = lock_recovering(&self.flight);
+            if flight.len() >= capacity
+                && flight
+                    .last()
+                    .is_some_and(|slowest| duration_ns <= slowest.duration_ns)
+            {
+                return;
+            }
+        }
+        let spans = self.config.telemetry.events_for_trace(trace);
+        let mut flight = lock_recovering(&self.flight);
+        flight.push(SlowRequest {
+            kind,
+            tier,
+            duration_ns,
+            trace,
+            spans,
+        });
+        flight.sort_by_key(|r| std::cmp::Reverse(r.duration_ns));
+        flight.truncate(capacity);
+    }
+
+    /// The flight recorder's current contents: the slowest requests (at or
+    /// above the configured latency threshold) seen so far, slowest first,
+    /// each with the full span subtree of its trace. Empty when telemetry
+    /// is disabled or no request has crossed the threshold.
+    pub fn slow_requests(&self) -> Vec<SlowRequest> {
+        lock_recovering(&self.flight).clone()
     }
 
     /// Evaluates a batch of general weighted-model-count requests. Always
@@ -730,6 +992,7 @@ impl EvalSession {
             &self.config.telemetry,
             |i| {
                 let started = self.timer();
+                let span = self.request_span("wmc");
                 let r = &requests[i];
                 let facts = self.instances[r.instance.0].instance.fact_count();
                 assert_eq!(
@@ -744,7 +1007,7 @@ impl EvalSession {
                 );
                 let lineage = artifacts[&(r.query.0, r.instance.0)].clone()?;
                 let w = lineage.wmc(&|v| r.pos[v].clone(), &|v| r.neg[v].clone(), eval_threads);
-                self.record_request("wmc", DecisionTier::Exact, started);
+                self.record_request("wmc", DecisionTier::Exact, started, span);
                 Ok(w)
             },
         ))
@@ -777,6 +1040,7 @@ impl EvalSession {
             &self.config.telemetry,
             |i| {
                 let started = self.timer();
+                let span = self.request_span("probability_f64");
                 let r = &requests[i];
                 self.check_valuation(r.instance, &r.valuation);
                 match &artifacts[&(r.query.0, r.instance.0)] {
@@ -785,7 +1049,7 @@ impl EvalSession {
                             &|v| ErrorInterval::from_rational(r.valuation.probability(FactId(v))),
                             eval_threads,
                         );
-                        self.record_request("probability_f64", DecisionTier::Float, started);
+                        self.record_request("probability_f64", DecisionTier::Float, started, span);
                         Ok((interval.midpoint(), interval))
                     }
                     Err(e) => match self.monte_carlo(r, e) {
@@ -794,6 +1058,7 @@ impl EvalSession {
                                 "probability_f64",
                                 DecisionTier::MonteCarlo,
                                 started,
+                                span,
                             );
                             Ok(estimate)
                         }
@@ -831,6 +1096,7 @@ impl EvalSession {
                 &self.config.telemetry,
                 |i| {
                     let started = self.timer();
+                    let span = self.request_span("threshold");
                     let r = &requests[i];
                     self.check_valuation(r.instance, &r.valuation);
                     let exact = self.dd_evaluate(r.query.0, r.instance.0, |manager, root| {
@@ -839,7 +1105,7 @@ impl EvalSession {
                     self.counters
                         .exact_fallbacks
                         .fetch_add(1, Ordering::Relaxed);
-                    self.record_request("threshold", DecisionTier::Exact, started);
+                    self.record_request("threshold", DecisionTier::Exact, started, span);
                     Ok(Self::exact_decision(&exact, &r.threshold))
                 },
             ));
@@ -853,6 +1119,7 @@ impl EvalSession {
             &self.config.telemetry,
             |i| {
                 let started = self.timer();
+                let span = self.request_span("threshold");
                 let r = &requests[i];
                 self.check_valuation(r.instance, &r.valuation);
                 let lineage = match &artifacts[&(r.query.0, r.instance.0)] {
@@ -865,7 +1132,12 @@ impl EvalSession {
                         };
                         return match self.monte_carlo(&as_probability, e) {
                             Some((estimate, interval)) => {
-                                self.record_request("threshold", DecisionTier::MonteCarlo, started);
+                                self.record_request(
+                                    "threshold",
+                                    DecisionTier::MonteCarlo,
+                                    started,
+                                    span,
+                                );
                                 Ok(ThresholdDecision {
                                     above: estimate > r.threshold.to_f64(),
                                     tier: DecisionTier::MonteCarlo,
@@ -885,7 +1157,7 @@ impl EvalSession {
                         self.counters
                             .float_decisions
                             .fetch_add(1, Ordering::Relaxed);
-                        self.record_request("threshold", DecisionTier::Float, started);
+                        self.record_request("threshold", DecisionTier::Float, started, span);
                         return Ok(ThresholdDecision {
                             above: order == std::cmp::Ordering::Greater,
                             tier: DecisionTier::Float,
@@ -900,7 +1172,7 @@ impl EvalSession {
                 self.counters
                     .exact_fallbacks
                     .fetch_add(1, Ordering::Relaxed);
-                self.record_request("threshold", DecisionTier::Exact, started);
+                self.record_request("threshold", DecisionTier::Exact, started, span);
                 Ok(Self::exact_decision(&exact, &r.threshold))
             },
         ))
@@ -969,11 +1241,12 @@ impl EvalSession {
                     &self.config.telemetry,
                     |k| {
                         let started = self.timer();
+                        let span = self.request_span("model_count");
                         let count = artifacts[&unique[k]]
                             .clone()
                             .map(|lineage| lineage.model_count(eval_threads));
                         if count.is_ok() {
-                            self.record_request("model_count", DecisionTier::Exact, started);
+                            self.record_request("model_count", DecisionTier::Exact, started, span);
                         }
                         count
                     },
@@ -1002,11 +1275,12 @@ impl EvalSession {
                     &self.config.telemetry,
                     |k| {
                         let started = self.timer();
+                        let span = self.request_span("model_count");
                         let (q, i) = unique[k];
                         let count =
                             self.dd_evaluate(q, i, |manager, root| manager.count_models(root));
                         if count.is_ok() {
-                            self.record_request("model_count", DecisionTier::Exact, started);
+                            self.record_request("model_count", DecisionTier::Exact, started, span);
                         }
                         count
                     },
@@ -1019,6 +1293,193 @@ impl EvalSession {
                     .collect();
                 self.count_errors(&out);
                 out
+            }
+        }
+    }
+
+    /// Serves one probability request on the caller's thread and reports
+    /// *how*: backend and tier, what each cache layer contributed, compiled
+    /// artifact sizes, and per-stage durations aggregated from the
+    /// request's own trace (empty when telemetry is disabled). Unlike the
+    /// batch methods, a malformed request (unknown handle, short valuation)
+    /// is a typed [`EngineError::InvalidRequest`], not a worker panic.
+    ///
+    /// The request is a real one — it counts into [`SessionStats`] and the
+    /// `requests_total{kind="explain"}` series, warms the same caches, and
+    /// is served through the same tier policy as
+    /// [`EvalSession::batch_probability_f64`] (float-first backends answer
+    /// from the certified interval pass; exact backends exactly). The
+    /// cache-state fields report residency *before* this request ran.
+    pub fn explain(&self, request: &ProbabilityRequest) -> Result<ExplainReport, EngineError> {
+        let q = request.query.0;
+        let i = request.instance.0;
+        if q >= self.queries.len() {
+            return Err(EngineError::InvalidRequest(format!(
+                "unknown query handle {q} ({} registered)",
+                self.queries.len()
+            )));
+        }
+        let Some(entry) = self.instances.get(i) else {
+            return Err(EngineError::InvalidRequest(format!(
+                "unknown instance handle {i} ({} registered)",
+                self.instances.len()
+            )));
+        };
+        if request.valuation.len() != entry.instance.fact_count() {
+            return Err(EngineError::InvalidRequest(format!(
+                "valuation covers {} facts but instance {i} has {}",
+                request.valuation.len(),
+                entry.instance.fact_count()
+            )));
+        }
+        // Probe cache residency non-mutatingly, before serving warms the
+        // layers — the report explains what the request *found*.
+        let encoding_cached = lock_recovering(&entry.encoding).is_some();
+        let width = lock_recovering(&entry.encoding)
+            .as_ref()
+            .map(|e| e.alphabet().width());
+        let machine_cached =
+            width.is_some_and(|w| lock_recovering(&self.machines).contains(&(q, w)));
+        let lineage_cached = match self.backend {
+            SessionBackend::SharedDd => lock_recovering(&entry.dd)
+                .as_ref()
+                .is_some_and(|shard| shard.roots.contains_key(&q)),
+            SessionBackend::Automaton | SessionBackend::FloatFirst => {
+                lock_recovering(&self.lineages).contains(&(q, i))
+            }
+        };
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let started = self.timer();
+        let span = self.request_span("explain");
+        let trace = span.context().map(|c| c.trace);
+        let (tier, estimate, interval_width, artifact) = match self.explain_serve(request) {
+            Ok(served) => served,
+            Err(e) => {
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                drop(span);
+                return Err(e);
+            }
+        };
+        self.record_request("explain", tier, started, span);
+        let events = match trace {
+            Some(t) => self.config.telemetry.events_for_trace(t),
+            None => Vec::new(),
+        };
+        let total_ns = events
+            .iter()
+            .filter(|e| e.name == "request")
+            .map(|e| e.duration_ns)
+            .max()
+            .unwrap_or(0);
+        let mut by_stage: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
+        for event in &events {
+            if event.name == "request" {
+                continue;
+            }
+            let slot = by_stage.entry(event.name).or_insert((0, 0));
+            slot.0 += 1;
+            slot.1 += event.duration_ns;
+        }
+        let stages = by_stage
+            .into_iter()
+            .map(|(name, (count, total_ns))| StageTiming {
+                name,
+                count,
+                total_ns,
+            })
+            .collect();
+        Ok(ExplainReport {
+            backend: self.backend.as_str(),
+            tier,
+            estimate,
+            interval_width,
+            encoding_cached,
+            machine_cached,
+            lineage_cached,
+            automaton_states: artifact.automaton_states,
+            gates: artifact.gates,
+            vtree_nodes: artifact.vtree_nodes,
+            fragments: artifact.fragments,
+            dd_nodes: artifact.dd_nodes,
+            trace,
+            total_ns,
+            stages,
+        })
+    }
+
+    /// The serving half of [`EvalSession::explain`]: answers the request
+    /// through the backend's usual tier policy and collects artifact sizes.
+    /// Runs with the request span open on the caller's stack, so every
+    /// compile/eval span parents into the request's trace.
+    fn explain_serve(
+        &self,
+        r: &ProbabilityRequest,
+    ) -> Result<(DecisionTier, f64, f64, ArtifactStats), EngineError> {
+        let q = r.query.0;
+        let i = r.instance.0;
+        match self.backend {
+            SessionBackend::SharedDd => {
+                let (p, nodes) = self.dd_evaluate(q, i, |manager, root| {
+                    (
+                        manager.probability(root, &|v| r.valuation.probability(FactId(v)).clone()),
+                        manager.stats().node_count,
+                    )
+                })?;
+                let artifact = ArtifactStats {
+                    dd_nodes: Some(nodes),
+                    ..ArtifactStats::default()
+                };
+                Ok((DecisionTier::Exact, p.to_f64(), 0.0, artifact))
+            }
+            SessionBackend::Automaton | SessionBackend::FloatFirst => {
+                let lineage = match self.lineage(q, i, self.config.threads) {
+                    Ok(lineage) => lineage,
+                    Err(e) => {
+                        return match self.monte_carlo(r, &e) {
+                            Some((estimate, interval)) => Ok((
+                                DecisionTier::MonteCarlo,
+                                estimate,
+                                interval.width(),
+                                ArtifactStats::default(),
+                            )),
+                            None => Err(e),
+                        };
+                    }
+                };
+                let mut artifact = ArtifactStats {
+                    gates: Some(lineage.size()),
+                    vtree_nodes: Some(lineage.structured().vtree().node_count()),
+                    fragments: Some(lineage.partition().fragments().len()),
+                    ..ArtifactStats::default()
+                };
+                // The machine is resident after `lineage` succeeded; report
+                // its deterministic-state memo without rematerializing.
+                if let Some(w) = lock_recovering(&self.instances[i].encoding)
+                    .as_ref()
+                    .map(|e| e.alphabet().width())
+                {
+                    if let Some(machine) = lock_recovering(&self.machines).get(&(q, w)) {
+                        artifact.automaton_states = Some(lock_recovering(&machine).state_count());
+                    }
+                }
+                if self.backend == SessionBackend::FloatFirst {
+                    let interval = lineage.probability_interval(
+                        &|v| ErrorInterval::from_rational(r.valuation.probability(FactId(v))),
+                        self.config.threads,
+                    );
+                    Ok((
+                        DecisionTier::Float,
+                        interval.midpoint(),
+                        interval.width(),
+                        artifact,
+                    ))
+                } else {
+                    let p = lineage.probability(
+                        &|v| r.valuation.probability(FactId(v)).clone(),
+                        self.config.threads,
+                    );
+                    Ok((DecisionTier::Exact, p.to_f64(), 0.0, artifact))
+                }
             }
         }
     }
@@ -1037,7 +1498,15 @@ impl EvalSession {
             self.config.threads,
             unique.len(),
             &self.config.telemetry,
-            |k| self.lineage(unique[k].0, unique[k].1, inner_threads),
+            |k| {
+                // One span per pair: a cold compile's encode/compile spans
+                // all parent under it (joining the spawning request's trace
+                // via the inherited context), instead of floating as roots.
+                let mut span = self.config.telemetry.span("compile_pair");
+                span.label("query", unique[k].0);
+                span.label("instance", unique[k].1);
+                self.lineage(unique[k].0, unique[k].1, inner_threads)
+            },
         );
         unique.into_iter().zip(compiled).collect()
     }
@@ -1534,5 +2003,189 @@ mod tests {
             "Karp–Luby estimate {estimate} vs exact {exact_f}"
         );
         assert_eq!(decision.above, exact_f > 0.5);
+    }
+
+    fn traced_session(backend: SessionBackend) -> (EvalSession, QueryId, InstanceId) {
+        let config = EngineConfig {
+            telemetry: treelineage_telemetry::Telemetry::enabled(),
+            ..EngineConfig::with_threads(2)
+        };
+        let mut session = EvalSession::with_backend(config, backend);
+        let q = session.register_query(parse_query(&rst(), "R(x), S(x, y), T(y)").unwrap());
+        let i = session.register_instance(chain(4));
+        (session, q, i)
+    }
+
+    #[test]
+    fn explain_reports_caches_tier_and_stages() {
+        let (session, q, i) = traced_session(SessionBackend::Automaton);
+        let valuation =
+            ProbabilityValuation::uniform(session.instance(i), Rational::from_ratio_u64(1, 3));
+        let request = ProbabilityRequest {
+            query: q,
+            instance: i,
+            valuation,
+        };
+        let cold = session.explain(&request).unwrap();
+        assert_eq!(cold.backend, "automaton");
+        assert_eq!(cold.tier, DecisionTier::Exact);
+        assert!(!cold.encoding_cached && !cold.machine_cached && !cold.lineage_cached);
+        assert!(cold.gates.unwrap() > 0);
+        assert!(cold.vtree_nodes.unwrap() > 0);
+        assert!(cold.automaton_states.unwrap() > 0);
+        assert!(cold.fragments.is_some() && cold.dd_nodes.is_none());
+        assert_eq!(cold.interval_width, 0.0);
+        // The request's own trace saw the cold compile stages.
+        assert!(cold.trace.is_some());
+        assert!(cold.total_ns > 0);
+        let stage_names: Vec<&str> = cold.stages.iter().map(|s| s.name).collect();
+        assert!(
+            stage_names.contains(&"encode") && stage_names.contains(&"dsdnnf_compile"),
+            "cold explain should surface compile stages, got {stage_names:?}"
+        );
+        // Warm run: every layer reports resident, and the answer matches
+        // the batch API bit-for-bit.
+        let warm = session.explain(&request).unwrap();
+        assert!(warm.encoding_cached && warm.machine_cached && warm.lineage_cached);
+        let exact = session.batch_probability(std::slice::from_ref(&request))[0]
+            .clone()
+            .unwrap();
+        assert_eq!(warm.estimate, exact.to_f64());
+        // Consistency with SessionStats: two explains + one batch request.
+        let stats = session.stats();
+        assert_eq!(stats.requests, 3);
+        assert_eq!(stats.lineage_misses, 1);
+        // The float-first backend serves explain from the interval tier.
+        let (float_session, fq, fi) = traced_session(SessionBackend::FloatFirst);
+        let float_request = ProbabilityRequest {
+            query: fq,
+            instance: fi,
+            valuation: request.valuation.clone(),
+        };
+        let float_report = float_session.explain(&float_request).unwrap();
+        assert_eq!(float_report.tier, DecisionTier::Float);
+        assert!(float_report.interval_width > 0.0);
+        assert!((float_report.estimate - exact.to_f64()).abs() <= float_report.interval_width);
+        // And SharedDd reports its shard size instead of circuit sizes.
+        let (dd_session, dq, di) = traced_session(SessionBackend::SharedDd);
+        let dd_report = dd_session
+            .explain(&ProbabilityRequest {
+                query: dq,
+                instance: di,
+                valuation: request.valuation.clone(),
+            })
+            .unwrap();
+        assert_eq!(dd_report.tier, DecisionTier::Exact);
+        assert!(dd_report.dd_nodes.unwrap() > 0);
+        assert!(dd_report.gates.is_none());
+        assert_eq!(dd_report.estimate, exact.to_f64());
+    }
+
+    #[test]
+    fn explain_rejects_malformed_requests_without_panicking() {
+        let (session, q, i) = session_with(SessionBackend::Automaton);
+        let short = ProbabilityRequest {
+            query: q,
+            instance: i,
+            // A valuation sized for a smaller instance than the request's.
+            valuation: ProbabilityValuation::uniform(&chain(1), Rational::one_half()),
+        };
+        assert!(matches!(
+            session.explain(&short),
+            Err(EngineError::InvalidRequest(_))
+        ));
+        let unknown = ProbabilityRequest {
+            query: QueryId(17),
+            instance: i,
+            valuation: ProbabilityValuation::uniform(session.instance(i), Rational::one_half()),
+        };
+        assert!(matches!(
+            session.explain(&unknown),
+            Err(EngineError::InvalidRequest(_))
+        ));
+        // Malformed requests never count as served.
+        assert_eq!(session.stats().requests, 0);
+    }
+
+    #[test]
+    fn explain_report_renders_stable_json() {
+        let report = ExplainReport {
+            backend: "automaton",
+            tier: DecisionTier::Exact,
+            estimate: 0.25,
+            interval_width: 0.0,
+            encoding_cached: true,
+            machine_cached: false,
+            lineage_cached: true,
+            automaton_states: Some(5),
+            gates: Some(42),
+            vtree_nodes: Some(21),
+            fragments: Some(3),
+            dd_nodes: None,
+            trace: Some(7),
+            total_ns: 1_500,
+            stages: vec![StageTiming {
+                name: "eval\"stage\"",
+                count: 2,
+                total_ns: 900,
+            }],
+        };
+        assert_eq!(
+            report.to_json(),
+            "{\"backend\":\"automaton\",\"tier\":\"exact\",\"estimate\":0.25,\
+             \"interval_width\":0.0,\
+             \"cache\":{\"encoding\":true,\"machine\":false,\"lineage\":true},\
+             \"artifact\":{\"automaton_states\":5,\"gates\":42,\"vtree_nodes\":21,\"fragments\":3},\
+             \"trace\":7,\"total_ns\":1500,\
+             \"stages\":[{\"name\":\"eval\\\"stage\\\"\",\"count\":2,\"total_ns\":900}]}"
+        );
+    }
+
+    #[test]
+    fn flight_recorder_keeps_the_slowest_requests_bounded() {
+        let config = EngineConfig {
+            telemetry: treelineage_telemetry::Telemetry::enabled(),
+            flight_recorder_capacity: 2,
+            flight_recorder_threshold_ns: 0,
+            ..EngineConfig::with_threads(2)
+        };
+        let mut session = EvalSession::with_backend(config, SessionBackend::Automaton);
+        let q = session.register_query(parse_query(&rst(), "R(x), S(x, y), T(y)").unwrap());
+        let i = session.register_instance(chain(4));
+        let valuation =
+            ProbabilityValuation::uniform(session.instance(i), Rational::from_ratio_u64(1, 3));
+        let requests: Vec<ProbabilityRequest> = (0..6)
+            .map(|_| ProbabilityRequest {
+                query: q,
+                instance: i,
+                valuation: valuation.clone(),
+            })
+            .collect();
+        for r in session.batch_probability(&requests) {
+            r.unwrap();
+        }
+        let slow = session.slow_requests();
+        assert_eq!(slow.len(), 2, "capacity bounds the recorder");
+        assert!(slow[0].duration_ns >= slow[1].duration_ns, "slowest first");
+        for entry in &slow {
+            assert_eq!(entry.kind, "probability");
+            assert_eq!(entry.tier, DecisionTier::Exact);
+            let request_span = entry
+                .spans
+                .iter()
+                .find(|e| e.name == "request")
+                .expect("each retained request keeps its root span");
+            assert_eq!(request_span.trace, entry.trace);
+            assert!(entry.spans.iter().all(|e| e.trace == entry.trace));
+        }
+        // Telemetry disabled: the recorder stays inert.
+        let quiet = EvalSession::with_backend(
+            EngineConfig {
+                flight_recorder_threshold_ns: 0,
+                ..EngineConfig::default()
+            },
+            SessionBackend::Automaton,
+        );
+        assert!(quiet.slow_requests().is_empty());
     }
 }

@@ -22,9 +22,13 @@
 //!   instrumentation only ever *observes*.
 //! * [`Span`] is an RAII guard: created via [`Telemetry::span`], it times
 //!   its scope on the monotonic clock and links to the innermost span open
-//!   on the same thread (or an explicit parent id across threads). Finished
-//!   spans land in a bounded event ring (drained via
-//!   [`Telemetry::drain_events`]) and in per-name aggregates.
+//!   on the same thread — or, across threads, to the [`SpanContext`]
+//!   (trace id + parent span id) captured at task-spawn time and installed
+//!   on the worker via [`Telemetry::install_context`]. Finished spans land
+//!   in a bounded event ring (drained via [`Telemetry::drain_events`],
+//!   queried per trace via [`Telemetry::events_for_trace`]) and in
+//!   per-name aggregates; [`to_chrome_trace`] renders drained events as
+//!   Chrome-trace/Perfetto `trace_events` JSON.
 //! * [`MetricsSnapshot`] is plain data with integer-only values, so the
 //!   JSON round trip ([`MetricsSnapshot::to_json_lines`] /
 //!   [`MetricsSnapshot::from_json_lines`]) is exact.
@@ -50,10 +54,15 @@
 #![warn(missing_docs)]
 
 mod json;
+mod perfetto;
 mod registry;
 mod snapshot;
 
-pub use registry::{Histogram, Registry, Span, SpanEvent, Telemetry, DEFAULT_LATENCY_BOUNDS_NS};
+pub use perfetto::to_chrome_trace;
+pub use registry::{
+    ContextGuard, Histogram, Registry, Span, SpanContext, SpanEvent, Telemetry,
+    DEFAULT_LATENCY_BOUNDS_NS,
+};
 pub use snapshot::{
     CounterSample, GaugeSample, HistogramSample, MetricsSnapshot, SnapshotParseError, SpanAggregate,
 };

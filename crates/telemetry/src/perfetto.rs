@@ -1,0 +1,233 @@
+//! Chrome-trace / Perfetto export of the span event ring.
+//!
+//! [`to_chrome_trace`] renders drained [`SpanEvent`]s in the Trace Event
+//! Format (the `{"traceEvents": [...]}` JSON object of `ph:"X"` complete
+//! events) that <https://ui.perfetto.dev> and `chrome://tracing` open
+//! directly. Like every exporter in this crate it is std-only and built on
+//! the in-tree JSON writer, so escaping is exact and the output stays
+//! within the integer-only subset the in-tree parser accepts.
+//!
+//! Mapping:
+//!
+//! * `pid` — the span's trace id, so each request renders as its own
+//!   "process" track group and cross-thread children stay visually grouped
+//!   with their root.
+//! * `tid` — the dense process-wide thread index stamped on the event
+//!   ([`SpanEvent::thread`]); RAII spans nest properly in time per thread,
+//!   which is exactly the invariant the `X`-event renderer assumes.
+//! * `ts`/`dur` — microseconds (the format's unit), derived from the
+//!   nanosecond span clock by flooring the start and ceiling the duration
+//!   (so sub-microsecond spans stay visible). Events are sorted by start
+//!   time, which the format requires of writers that emit `X` events.
+//! * `args` — the span id, parent id, trace id, and every label, so
+//!   nothing recorded is lost in the export.
+
+use crate::json::Json;
+use crate::registry::SpanEvent;
+
+/// Renders finished spans as a Chrome-trace / Perfetto `trace_events` JSON
+/// document. Pass the result of [`Telemetry::drain_events`] (or a
+/// [`Registry::events_for_trace`] slice for a single request).
+///
+/// [`Telemetry::drain_events`]: crate::Telemetry::drain_events
+/// [`Registry::events_for_trace`]: crate::Registry::events_for_trace
+///
+/// ```
+/// use treelineage_telemetry::{to_chrome_trace, Telemetry};
+///
+/// let telemetry = Telemetry::enabled();
+/// {
+///     let _root = telemetry.span("request");
+///     let _child = telemetry.span("encode");
+/// }
+/// let trace = to_chrome_trace(&telemetry.drain_events());
+/// assert!(trace.starts_with("{\"traceEvents\":["));
+/// ```
+pub fn to_chrome_trace(events: &[SpanEvent]) -> String {
+    let mut ordered: Vec<&SpanEvent> = events.iter().collect();
+    ordered.sort_by_key(|e| (e.start_ns, e.id));
+    let trace_events: Vec<Json> = ordered.into_iter().map(event_json).collect();
+    let doc = Json::Object(vec![
+        ("traceEvents".to_string(), Json::Array(trace_events)),
+        ("displayTimeUnit".to_string(), Json::Str("ms".to_string())),
+    ]);
+    let mut out = String::new();
+    doc.write(&mut out);
+    out
+}
+
+fn event_json(event: &SpanEvent) -> Json {
+    let mut args = vec![
+        ("id".to_string(), Json::UInt(event.id)),
+        ("trace".to_string(), Json::UInt(event.trace)),
+    ];
+    if let Some(parent) = event.parent {
+        args.push(("parent".to_string(), Json::UInt(parent)));
+    }
+    for (key, value) in &event.labels {
+        args.push((key.clone(), Json::Str(value.clone())));
+    }
+    Json::Object(vec![
+        ("name".to_string(), Json::Str(event.name.to_string())),
+        ("cat".to_string(), Json::Str("span".to_string())),
+        ("ph".to_string(), Json::Str("X".to_string())),
+        ("ts".to_string(), Json::UInt(event.start_ns / 1_000)),
+        (
+            "dur".to_string(),
+            Json::UInt(event.duration_ns.div_ceil(1_000).max(1)),
+        ),
+        ("pid".to_string(), Json::UInt(event.trace)),
+        ("tid".to_string(), Json::UInt(event.thread)),
+        ("args".to_string(), Json::Object(args)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::Telemetry;
+    use proptest::prelude::*;
+
+    fn parse_trace(rendered: &str) -> Vec<json::Json> {
+        let doc = json::parse(rendered).expect("export parses as JSON");
+        let events = doc.get("traceEvents").expect("traceEvents key");
+        match events {
+            json::Json::Array(items) => items.clone(),
+            _ => panic!("traceEvents must be an array"),
+        }
+    }
+
+    #[test]
+    fn empty_ring_exports_empty_document() {
+        let rendered = to_chrome_trace(&[]);
+        assert!(parse_trace(&rendered).is_empty());
+    }
+
+    #[test]
+    fn live_spans_export_with_structure() {
+        let t = Telemetry::enabled();
+        {
+            let mut root = t.span("request");
+            root.label("kind", "probability");
+            let _child = t.span("encode");
+        }
+        let events = t.drain_events();
+        let rendered = to_chrome_trace(&events);
+        let items = parse_trace(&rendered);
+        assert_eq!(items.len(), 2);
+        for item in &items {
+            assert_eq!(item.get("ph").unwrap().as_str(), Some("X"));
+            assert!(item.get("dur").unwrap().as_u64().unwrap() >= 1);
+        }
+        let root = items
+            .iter()
+            .find(|i| i.get("name").unwrap().as_str() == Some("request"))
+            .unwrap();
+        assert_eq!(
+            root.get("args").unwrap().get("kind").unwrap().as_str(),
+            Some("probability")
+        );
+        let child = items
+            .iter()
+            .find(|i| i.get("name").unwrap().as_str() == Some("encode"))
+            .unwrap();
+        assert_eq!(
+            child.get("args").unwrap().get("parent").unwrap().as_u64(),
+            root.get("args").unwrap().get("id").unwrap().as_u64()
+        );
+        // Both spans belong to the same trace, hence the same pid track.
+        assert_eq!(
+            child.get("pid").unwrap().as_u64(),
+            root.get("pid").unwrap().as_u64()
+        );
+    }
+
+    /// Palette of adversarial characters for names and labels: quotes,
+    /// backslashes, control characters, non-ASCII.
+    const NASTY: [char; 9] = ['"', '\\', '\n', '\t', '\u{0}', '\u{7f}', 'é', '漢', 'x'];
+
+    /// Strategy for adversarial label/name text drawn from [`NASTY`].
+    fn nasty_text() -> impl Strategy<Value = String> {
+        proptest::collection::vec(0usize..NASTY.len(), 0..12)
+            .prop_map(|indices| indices.into_iter().map(|i| NASTY[i]).collect())
+    }
+
+    /// Builds a well-formed span forest: each event may parent to an
+    /// earlier event (same trace), timestamps are monotone in index.
+    fn span_forest() -> impl Strategy<Value = Vec<SpanEvent>> {
+        proptest::collection::vec(
+            (
+                nasty_text(),
+                // 0 encodes "root"; p > 0 encodes "parent is event p-1".
+                0usize..9,
+                0u64..1_000_000,
+                proptest::collection::vec((nasty_text(), nasty_text()), 0..3),
+            ),
+            0..16,
+        )
+        .prop_map(|rows| {
+            let mut events: Vec<SpanEvent> = Vec::with_capacity(rows.len());
+            for (i, (name, parent_raw, dur, labels)) in rows.into_iter().enumerate() {
+                let parent = parent_raw
+                    .checked_sub(1)
+                    .filter(|&p| p < i)
+                    .map(|p| events[p].id);
+                let trace = match parent {
+                    Some(pid) => events.iter().find(|e| e.id == pid).unwrap().trace,
+                    None => 1_000 + i as u64,
+                };
+                events.push(SpanEvent {
+                    id: i as u64 + 1,
+                    parent,
+                    trace,
+                    thread: (i % 3) as u64,
+                    // Span names are static in the live API; leaking here
+                    // is confined to the proptest cases.
+                    name: Box::leak(name.into_boxed_str()),
+                    start_ns: 10_000 * i as u64,
+                    duration_ns: dur,
+                    labels,
+                });
+            }
+            events
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The satellite-task contract: the export parses as trace_events
+        /// JSON under escaper-adversarial names, timestamps are monotone,
+        /// and every `parent` arg refers to an exported span id.
+        #[test]
+        fn export_is_valid_trace_events_json(events in span_forest()) {
+            let rendered = to_chrome_trace(&events);
+            let items = parse_trace(&rendered);
+            prop_assert_eq!(items.len(), events.len());
+            let mut ids = std::collections::BTreeSet::new();
+            let mut last_ts = 0u64;
+            for item in &items {
+                prop_assert_eq!(item.get("ph").unwrap().as_str(), Some("X"));
+                let ts = item.get("ts").unwrap().as_u64().unwrap();
+                prop_assert!(ts >= last_ts, "timestamps must be monotone");
+                last_ts = ts;
+                prop_assert!(item.get("dur").unwrap().as_u64().unwrap() >= 1);
+                ids.insert(item.get("args").unwrap().get("id").unwrap().as_u64().unwrap());
+            }
+            for (item, event) in items.iter().zip(events.iter()) {
+                // Sort is stable on (start_ns, id) and ids ascend with
+                // start order in this strategy, so ordering matches.
+                prop_assert_eq!(item.get("name").unwrap().as_str(), Some(event.name));
+                if let Some(parent) = item.get("args").unwrap().get("parent") {
+                    prop_assert!(ids.contains(&parent.as_u64().unwrap()),
+                        "every parent id must be present in the export");
+                }
+                prop_assert_eq!(
+                    item.get("pid").unwrap().as_u64(),
+                    Some(event.trace)
+                );
+            }
+        }
+    }
+}

@@ -7,7 +7,7 @@
 //! and no synchronization on the hot path — the overhead-guard test in
 //! `tests/overhead.rs` pins this to literally zero allocations.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Display;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -137,8 +137,14 @@ struct SpanAgg {
 pub struct SpanEvent {
     /// Unique id of the span within its registry.
     pub id: u64,
-    /// Id of the enclosing span on the same thread, if any.
+    /// Id of the enclosing span (same-thread stack, ambient
+    /// [`SpanContext`], or explicit parent), if any.
     pub parent: Option<u64>,
+    /// Trace id shared by every span descending from the same root span.
+    pub trace: u64,
+    /// Process-wide index of the thread the span ran on (dense small
+    /// integers, suitable as a `tid` in trace viewers).
+    pub thread: u64,
     /// Static stage name (e.g. `"encode"`, `"dsdnnf_merge"`).
     pub name: &'static str,
     /// Start time in nanoseconds since the registry was created.
@@ -149,6 +155,23 @@ pub struct SpanEvent {
     pub labels: Vec<(String, String)>,
 }
 
+/// The position of a span in its trace: the trace id plus the span's own
+/// id, exactly what a child opened elsewhere needs to parent correctly.
+///
+/// Capture one with [`Telemetry::current_context`] (or [`Span::context`])
+/// at task-spawn time, move it into the worker, and install it there with
+/// [`Telemetry::install_context`]; spans the worker opens then join the
+/// originating trace instead of becoming orphan roots. `Copy` so it
+/// crosses `std::thread::scope` closures without ceremony.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanContext {
+    /// Trace id of the root request/operation this context belongs to.
+    pub trace: u64,
+    /// Id of the span that is the parent for work opened under this
+    /// context.
+    pub span: u64,
+}
+
 /// A registry of metric series and span records. Usually reached through a
 /// [`Telemetry`] handle; create one directly to share a registry between
 /// several handles or to export outside an engine session.
@@ -156,6 +179,7 @@ pub struct SpanEvent {
 pub struct Registry {
     epoch: Instant,
     next_span_id: AtomicU64,
+    next_trace_id: AtomicU64,
     counters: Mutex<BTreeMap<MetricKey, Arc<AtomicU64>>>,
     gauges: Mutex<BTreeMap<MetricKey, Arc<AtomicI64>>>,
     histograms: Mutex<BTreeMap<MetricKey, Arc<Histogram>>>,
@@ -177,6 +201,7 @@ impl Registry {
         Registry {
             epoch: Instant::now(),
             next_span_id: AtomicU64::new(1),
+            next_trace_id: AtomicU64::new(1),
             counters: Mutex::new(BTreeMap::new()),
             gauges: Mutex::new(BTreeMap::new()),
             histograms: Mutex::new(BTreeMap::new()),
@@ -270,6 +295,19 @@ impl Registry {
         lock(&self.events).drain(..).collect()
     }
 
+    /// Copies (without draining) every buffered span event belonging to
+    /// the given trace, oldest first. Spans evicted from the bounded ring
+    /// or already drained are gone — callers wanting a complete subtree
+    /// must read promptly after the root span closes (the flight recorder
+    /// in `treelineage-engine` does exactly that).
+    pub fn events_for_trace(&self, trace: u64) -> Vec<SpanEvent> {
+        lock(&self.events)
+            .iter()
+            .filter(|e| e.trace == trace)
+            .cloned()
+            .collect()
+    }
+
     /// A point-in-time copy of every series and span aggregate, ordered by
     /// `(name, labels)` so repeated snapshots of an idle registry are equal.
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -281,6 +319,15 @@ impl Registry {
                 value: value.load(Ordering::Relaxed),
             });
         }
+        // Ring overflow is an observability loss; surface it as a counter
+        // so both exporters (and anything scraping them) can alarm on it.
+        snap.counters.push(CounterSample {
+            name: "telemetry_dropped_span_events_total".to_string(),
+            labels: Vec::new(),
+            value: self.dropped_events(),
+        });
+        snap.counters
+            .sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
         for ((name, labels), value) in lock(&self.gauges).iter() {
             snap.gauges.push(GaugeSample {
                 name: name.clone(),
@@ -305,9 +352,49 @@ impl Registry {
 }
 
 thread_local! {
-    /// Per-thread stack of open span ids; the top is the parent of the next
-    /// span opened on this thread.
-    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread stack of open `(span id, trace id)` pairs; the top is
+    /// the parent of the next span opened on this thread.
+    static SPAN_STACK: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
+
+    /// Ambient [`SpanContext`] installed on this thread (typically by a
+    /// pool worker via [`Telemetry::install_context`]). Consulted when the
+    /// span stack is empty, so cross-thread work parents to the span that
+    /// spawned it instead of starting an orphan trace.
+    static AMBIENT_CONTEXT: Cell<Option<SpanContext>> = const { Cell::new(None) };
+
+    /// Lazily assigned process-wide index of this thread (see
+    /// [`SpanEvent::thread`]).
+    static THREAD_INDEX: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// Source of the dense per-thread indices stamped on [`SpanEvent`]s.
+static NEXT_THREAD_INDEX: AtomicU64 = AtomicU64::new(0);
+
+fn thread_index() -> u64 {
+    THREAD_INDEX.with(|slot| match slot.get() {
+        Some(index) => index,
+        None => {
+            let index = NEXT_THREAD_INDEX.fetch_add(1, Ordering::Relaxed);
+            slot.set(Some(index));
+            index
+        }
+    })
+}
+
+/// RAII guard returned by [`Telemetry::install_context`]; restores the
+/// thread's previous ambient [`SpanContext`] when dropped. Must be dropped
+/// on the thread it was created on (the ambient slot is thread-local) —
+/// in practice the guard lives for the body of a pool worker's closure.
+#[derive(Debug)]
+#[must_use = "dropping the guard immediately uninstalls the context"]
+pub struct ContextGuard {
+    previous: Option<SpanContext>,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        AMBIENT_CONTEXT.with(|slot| slot.set(self.previous));
+    }
 }
 
 /// A handle to an optional [`Registry`].
@@ -385,35 +472,116 @@ impl Telemetry {
     }
 
     /// Opens a span named `name`, parented to the innermost span already
-    /// open on this thread. The span records itself when dropped. On a
-    /// disabled handle this returns an inert guard without reading the
-    /// clock.
+    /// open on this thread — or, when none is open, to the ambient
+    /// [`SpanContext`] installed via [`Telemetry::install_context`] (so
+    /// pool-worker spans join the trace that spawned them). With neither,
+    /// the span starts a fresh trace as a root. The span records itself
+    /// when dropped. On a disabled handle this returns an inert guard
+    /// without reading the clock.
     pub fn span(&self, name: &'static str) -> Span {
-        if self.inner.is_none() {
+        let Some(registry) = &self.inner else {
             return Span(None);
+        };
+        let context = SPAN_STACK
+            .with(|s| s.borrow().last().copied())
+            .map(|(span, trace)| SpanContext { trace, span })
+            .or_else(|| AMBIENT_CONTEXT.with(|slot| slot.get()));
+        match context {
+            Some(ctx) => self.open_span(registry, name, Some(ctx.span), ctx.trace),
+            None => {
+                let trace = registry.next_trace_id.fetch_add(1, Ordering::Relaxed);
+                self.open_span(registry, name, None, trace)
+            }
         }
-        self.span_with_parent(name, SPAN_STACK.with(|s| s.borrow().last().copied()))
+    }
+
+    /// Opens a root span in a fresh trace, ignoring both the thread's span
+    /// stack and any installed ambient context. This is how a serving loop
+    /// starts the one-trace-per-request spans that the flight recorder and
+    /// `explain` reports key on.
+    pub fn span_root(&self, name: &'static str) -> Span {
+        let Some(registry) = &self.inner else {
+            return Span(None);
+        };
+        let trace = registry.next_trace_id.fetch_add(1, Ordering::Relaxed);
+        self.open_span(registry, name, None, trace)
     }
 
     /// Opens a span with an explicit parent id (e.g. to link work handed to
     /// a pool worker back to the span that enqueued it). `None` makes it a
-    /// root span regardless of what is open on this thread.
+    /// root span regardless of what is open on this thread. The trace id is
+    /// adopted from the thread's current context when one exists and is
+    /// fresh otherwise; prefer capturing a full [`SpanContext`] and
+    /// [`Telemetry::install_context`] when crossing threads, which keeps
+    /// parent *and* trace.
     pub fn span_with_parent(&self, name: &'static str, parent: Option<u64>) -> Span {
-        match &self.inner {
-            None => Span(None),
-            Some(registry) => {
-                let id = registry.next_span_id.fetch_add(1, Ordering::Relaxed);
-                SPAN_STACK.with(|s| s.borrow_mut().push(id));
-                Span(Some(Box::new(ActiveSpan {
-                    registry: Arc::clone(registry),
-                    name,
-                    id,
-                    parent,
-                    start_ns: registry.uptime_ns(),
-                    start: Instant::now(),
-                    labels: Vec::new(),
-                })))
+        let Some(registry) = &self.inner else {
+            return Span(None);
+        };
+        let trace = SPAN_STACK
+            .with(|s| s.borrow().last().copied())
+            .map(|(_, trace)| trace)
+            .or_else(|| AMBIENT_CONTEXT.with(|slot| slot.get()).map(|c| c.trace))
+            .unwrap_or_else(|| registry.next_trace_id.fetch_add(1, Ordering::Relaxed));
+        self.open_span(registry, name, parent, trace)
+    }
+
+    fn open_span(
+        &self,
+        registry: &Arc<Registry>,
+        name: &'static str,
+        parent: Option<u64>,
+        trace: u64,
+    ) -> Span {
+        let id = registry.next_span_id.fetch_add(1, Ordering::Relaxed);
+        SPAN_STACK.with(|s| s.borrow_mut().push((id, trace)));
+        Span(Some(Box::new(ActiveSpan {
+            registry: Arc::clone(registry),
+            name,
+            id,
+            parent,
+            trace,
+            thread: thread_index(),
+            start_ns: registry.uptime_ns(),
+            start: Instant::now(),
+            labels: Vec::new(),
+        })))
+    }
+
+    /// The [`SpanContext`] a child span opened *right now on this thread*
+    /// would adopt: the innermost open span if any, else the installed
+    /// ambient context. `None` on a disabled handle (nothing records, so
+    /// there is nothing to propagate) or when no span is open. Capture this
+    /// immediately before handing work to another thread.
+    pub fn current_context(&self) -> Option<SpanContext> {
+        self.inner.as_ref()?;
+        SPAN_STACK
+            .with(|s| s.borrow().last().copied())
+            .map(|(span, trace)| SpanContext { trace, span })
+            .or_else(|| AMBIENT_CONTEXT.with(|slot| slot.get()))
+    }
+
+    /// Installs `context` as this thread's ambient [`SpanContext`] until
+    /// the returned guard drops (which restores whatever was installed
+    /// before). Installing `None` is a no-op shim so spawn sites can write
+    /// `install_context(telemetry.current_context())` unconditionally.
+    pub fn install_context(&self, context: Option<SpanContext>) -> ContextGuard {
+        let previous = AMBIENT_CONTEXT.with(|slot| {
+            let previous = slot.get();
+            if context.is_some() {
+                slot.set(context);
             }
+            previous
+        });
+        ContextGuard { previous }
+    }
+
+    /// Copies (without draining) buffered span events belonging to `trace`;
+    /// empty when disabled. See [`Registry::events_for_trace`].
+    pub fn events_for_trace(&self, trace: u64) -> Vec<SpanEvent> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(registry) => registry.events_for_trace(trace),
         }
     }
 
@@ -439,6 +607,8 @@ struct ActiveSpan {
     name: &'static str,
     id: u64,
     parent: Option<u64>,
+    trace: u64,
+    thread: u64,
     start_ns: u64,
     start: Instant,
     labels: Vec<(String, String)>,
@@ -468,6 +638,16 @@ impl Span {
         self.0.as_ref().map(|s| s.id)
     }
 
+    /// The span's [`SpanContext`] (its trace id plus its own id) — what a
+    /// child opened on another thread should install to parent here.
+    /// `None` on an inert span.
+    pub fn context(&self) -> Option<SpanContext> {
+        self.0.as_ref().map(|s| SpanContext {
+            trace: s.trace,
+            span: s.id,
+        })
+    }
+
     /// Attaches a label. The value is only formatted when the span is live,
     /// so callers may pass `Display` values without allocating on the
     /// disabled path.
@@ -486,13 +666,15 @@ impl Drop for Span {
                 let mut stack = s.borrow_mut();
                 // Usually the top of the stack; a linear scan keeps the
                 // invariant even if guards are dropped out of order.
-                if let Some(pos) = stack.iter().rposition(|&id| id == active.id) {
+                if let Some(pos) = stack.iter().rposition(|&(id, _)| id == active.id) {
                     stack.remove(pos);
                 }
             });
             active.registry.record_span(SpanEvent {
                 id: active.id,
                 parent: active.parent,
+                trace: active.trace,
+                thread: active.thread,
                 name: active.name,
                 start_ns: active.start_ns,
                 duration_ns,
@@ -611,6 +793,119 @@ mod tests {
         assert_eq!(Telemetry::disabled(), Telemetry::default());
         assert_ne!(a, Telemetry::enabled());
         assert_ne!(a, Telemetry::disabled());
+    }
+
+    #[test]
+    fn ambient_context_parents_across_threads() {
+        let t = Telemetry::enabled();
+        let root = t.span("root");
+        let ctx = t.current_context();
+        assert_eq!(ctx, root.context());
+        let t2 = t.clone();
+        std::thread::spawn(move || {
+            assert_eq!(t2.current_context(), None);
+            let _guard = t2.install_context(ctx);
+            assert_eq!(t2.current_context(), ctx);
+            let child = t2.span("worker");
+            let child_ctx = child.context().unwrap();
+            assert_eq!(Some(child_ctx.trace), ctx.map(|c| c.trace));
+            drop(child);
+        })
+        .join()
+        .unwrap();
+        let root_ctx = root.context().unwrap();
+        drop(root);
+        let events = t.drain_events();
+        let worker = events.iter().find(|e| e.name == "worker").unwrap();
+        assert_eq!(worker.parent, Some(root_ctx.span));
+        assert_eq!(worker.trace, root_ctx.trace);
+        let root_event = events.iter().find(|e| e.name == "root").unwrap();
+        assert_eq!(root_event.parent, None);
+        assert_ne!(worker.thread, root_event.thread);
+    }
+
+    #[test]
+    fn install_context_nests_and_restores() {
+        let t = Telemetry::enabled();
+        let a = t.span("a");
+        let b = t.span("b");
+        let ctx_a = a.context();
+        let ctx_b = b.context();
+        drop(b);
+        drop(a);
+        assert_eq!(t.current_context(), None);
+        {
+            let _outer = t.install_context(ctx_a);
+            assert_eq!(t.current_context(), ctx_a);
+            {
+                let _inner = t.install_context(ctx_b);
+                assert_eq!(t.current_context(), ctx_b);
+                // Installing `None` keeps the current context.
+                let _noop = t.install_context(None);
+                assert_eq!(t.current_context(), ctx_b);
+            }
+            assert_eq!(t.current_context(), ctx_a);
+        }
+        assert_eq!(t.current_context(), None);
+        // An open span shadows the ambient context.
+        let _guard = t.install_context(ctx_a);
+        let c = t.span("c");
+        assert_eq!(t.current_context(), c.context());
+        drop(c);
+        t.drain_events();
+    }
+
+    #[test]
+    fn span_root_starts_fresh_traces() {
+        let t = Telemetry::enabled();
+        let outer = t.span("outer");
+        let outer_trace = outer.context().unwrap().trace;
+        let root = t.span_root("request");
+        let root_trace = root.context().unwrap().trace;
+        assert_ne!(root_trace, outer_trace);
+        let child = t.span("stage");
+        // The stack makes the detached root the parent of the next span.
+        assert_eq!(child.context().unwrap().trace, root_trace);
+        drop(child);
+        drop(root);
+        drop(outer);
+        let by_trace = t.events_for_trace(root_trace);
+        assert_eq!(by_trace.len(), 2);
+        assert!(by_trace.iter().any(|e| e.name == "request"));
+        assert!(by_trace.iter().any(|e| e.name == "stage"));
+        assert_eq!(t.events_for_trace(outer_trace).len(), 1);
+        // events_for_trace does not drain.
+        assert_eq!(t.drain_events().len(), 3);
+        assert!(t.events_for_trace(root_trace).is_empty());
+    }
+
+    #[test]
+    fn dropped_events_surface_in_snapshot() {
+        let t = Telemetry::enabled();
+        drop(t.span("s"));
+        assert_eq!(
+            t.snapshot()
+                .counter("telemetry_dropped_span_events_total", &[]),
+            Some(0)
+        );
+        for _ in 0..EVENT_CAPACITY {
+            drop(t.span("s"));
+        }
+        assert_eq!(
+            t.snapshot()
+                .counter("telemetry_dropped_span_events_total", &[]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn disabled_handle_has_no_context() {
+        let t = Telemetry::disabled();
+        assert_eq!(t.current_context(), None);
+        let _guard = t.install_context(None);
+        assert_eq!(t.current_context(), None);
+        assert!(t.span_root("request").context().is_none());
+        assert!(t.events_for_trace(1).is_empty());
     }
 
     #[test]

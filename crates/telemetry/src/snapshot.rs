@@ -57,6 +57,29 @@ pub struct HistogramSample {
     pub sum: u64,
 }
 
+impl HistogramSample {
+    /// Estimates the `q`-quantile (`0.0 < q <= 1.0`) from the fixed
+    /// buckets: the upper bound of the first bucket whose cumulative count
+    /// reaches `ceil(q * count)`. Observations in the overflow bucket have
+    /// no finite bound, so a quantile landing there reports `u64::MAX`
+    /// (rendered as the `+Inf` bucket by the Prometheus exporter).
+    /// `None` when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, &bucket) in self.buckets.iter().enumerate() {
+            cumulative = cumulative.saturating_add(bucket);
+            if cumulative >= rank {
+                return Some(self.bounds.get(i).copied().unwrap_or(u64::MAX));
+            }
+        }
+        Some(u64::MAX)
+    }
+}
+
 /// Aggregate over all finished spans of one name.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SpanAggregate {
@@ -186,7 +209,7 @@ impl MetricsSnapshot {
             out.push('\n');
         }
         for h in &self.histograms {
-            let line = Json::Object(vec![
+            let mut fields = vec![
                 ("type".into(), Json::Str("histogram".into())),
                 ("name".into(), Json::Str(h.name.clone())),
                 ("labels".into(), labels_json(&h.labels)),
@@ -200,7 +223,15 @@ impl MetricsSnapshot {
                 ),
                 ("count".into(), Json::UInt(h.count)),
                 ("sum".into(), Json::UInt(h.sum)),
-            ]);
+            ];
+            // Derived bucket-estimate quantiles; the parser ignores them
+            // (they are reconstructible), so the round trip stays exact.
+            for (key, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+                if let Some(value) = h.quantile(q) {
+                    fields.push((key.into(), Json::UInt(value)));
+                }
+            }
+            let line = Json::Object(fields);
             line.write(&mut out);
             out.push('\n');
         }
@@ -347,6 +378,29 @@ impl MetricsSnapshot {
                 &[],
                 &h.count.to_string(),
             );
+        }
+        // Bucket-estimate quantiles as a separate gauge family per
+        // histogram name (a Prometheus `histogram` family may only carry
+        // _bucket/_sum/_count series, so these get their own suffix); a
+        // second pass keeps one TYPE header per family.
+        for h in &self.histograms {
+            let quantile_name = format!("{}_quantile", h.name);
+            for (q_label, q) in [("0.5", 0.50), ("0.95", 0.95), ("0.99", 0.99)] {
+                let Some(value) = h.quantile(q) else { continue };
+                header(&mut out, &quantile_name, "gauge");
+                let rendered = if value == u64::MAX {
+                    "+Inf".to_string()
+                } else {
+                    value.to_string()
+                };
+                write_series(
+                    &mut out,
+                    &quantile_name,
+                    &h.labels,
+                    &[("quantile", q_label)],
+                    &rendered,
+                );
+            }
         }
         for (name, kind, value_of) in [
             ("span_count", "counter", 0usize),
@@ -541,6 +595,48 @@ mod tests {
         assert_eq!(snap.gauge("drift", &[("shard", "1")]), Some(-4));
         assert_eq!(snap.span("encode").unwrap().count, 2);
         assert!(snap.span("decode").is_none());
+    }
+
+    #[test]
+    fn quantiles_estimate_from_buckets() {
+        let h = HistogramSample {
+            name: "latency".into(),
+            labels: vec![],
+            bounds: vec![1_000, 4_000, 16_000],
+            // 5 in (0, 1000], 3 in (1000, 4000], 1 in (4000, 16000], 1 overflow.
+            buckets: vec![5, 3, 1, 1],
+            count: 10,
+            sum: 0,
+        };
+        assert_eq!(h.quantile(0.50), Some(1_000));
+        assert_eq!(h.quantile(0.75), Some(4_000));
+        assert_eq!(h.quantile(0.90), Some(16_000));
+        // The last observation sits in the overflow bucket: no finite bound.
+        assert_eq!(h.quantile(1.0), Some(u64::MAX));
+        let empty = HistogramSample {
+            buckets: vec![0, 0, 0, 0],
+            count: 0,
+            ..h.clone()
+        };
+        assert_eq!(empty.quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantiles_surface_in_both_exporters() {
+        let snap = sample_snapshot();
+        // sample_snapshot: buckets [1, 2, 3] over bounds [1000, 4000].
+        let json = snap.to_json_lines();
+        assert!(json.contains("\"p50\":4000"));
+        assert!(json.contains("\"p95\":"));
+        assert!(json.contains("\"p99\":"));
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("# TYPE request_latency_ns_quantile gauge"));
+        assert!(prom
+            .contains("request_latency_ns_quantile{kind=\"probability\",quantile=\"0.5\"} 4000"));
+        assert!(prom
+            .contains("request_latency_ns_quantile{kind=\"probability\",quantile=\"0.95\"} +Inf"));
+        // Derived fields do not perturb the exact round trip.
+        assert_eq!(MetricsSnapshot::from_json_lines(&json).unwrap(), snap);
     }
 
     #[test]
