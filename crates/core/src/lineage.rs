@@ -30,9 +30,9 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use treelineage_circuit::{Circuit, Dnnf, GateId, Obdd, Ref, VarId, Vtree};
-use treelineage_engine::EngineConfig;
+use treelineage_engine::{validate_insert, validate_retract, EngineConfig, UpdateError};
 use treelineage_graph::TreeDecomposition;
-use treelineage_instance::{FactId, Instance};
+use treelineage_instance::{Fact, FactId, Instance};
 use treelineage_num::{BigUint, ErrorInterval, Rational};
 use treelineage_query::{matching, UnionOfConjunctiveQueries};
 
@@ -356,6 +356,36 @@ impl<'a> LineageBuilder<'a> {
     /// The matches of the query on the instance (each a set of fact ids).
     pub fn matches(&self) -> BTreeSet<BTreeSet<FactId>> {
         matching::all_matches(self.query, self.instance)
+    }
+
+    /// Checks whether inserting `fact` at `probability` would be accepted
+    /// by an update-capable serving session over this builder's instance
+    /// (see [`treelineage_engine::EvalSession::insert_fact`]). With an
+    /// explicit decomposition the check is domain-pinned: the fact's
+    /// elements must already be in the decomposition's domain and covered
+    /// by one of its bags, because an incremental recompile cannot shift
+    /// the pinned vertex numbering. Without one, only the instance-level
+    /// checks (arity, duplicate, probability range) apply — the heuristic
+    /// decomposition is recomputed per compile and absorbs any fact.
+    pub fn supports_insert(&self, fact: &Fact, probability: &Rational) -> Result<(), UpdateError> {
+        let plan = match &self.decomposition {
+            Some(td) => Some(
+                treelineage_encoding::EncodingPlan::new_trusted(self.instance, td)
+                    .map_err(|e| UpdateError::Encoding(e.to_string()))?,
+            ),
+            None => None,
+        };
+        validate_insert(self.instance, plan.as_ref(), fact, probability)
+    }
+
+    /// Checks whether retracting `fact` would be accepted by an
+    /// update-capable serving session over this builder's instance (see
+    /// [`treelineage_engine::EvalSession::retract_fact`]). With an explicit
+    /// decomposition the retraction must not orphan a domain element
+    /// (domain-pinning, as for [`LineageBuilder::supports_insert`]);
+    /// without one, only the fact-id range is checked.
+    pub fn supports_retract(&self, fact: FactId) -> Result<(), UpdateError> {
+        validate_retract(self.instance, fact, self.decomposition.is_some())
     }
 
     /// The monotone lineage circuit: the disjunction over matches of the
@@ -757,6 +787,85 @@ mod tests {
             valuation.probability_of(|world| matching::satisfied_in_world(&q, &inst, world));
         let actual = obdd.probability(&|v| valuation.probability(FactId(v)).clone());
         assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn update_support_checks_mirror_the_session_rules() {
+        let sig = rst();
+        let q = parse_query(&sig, "R(x), S(x, y), T(y)").unwrap();
+        let inst = chain_instance(2);
+        let builder = LineageBuilder::new(&q, &inst).unwrap();
+        let r = sig.relation_by_name("R").unwrap();
+        let s = sig.relation_by_name("S").unwrap();
+        // Without a pinned decomposition, new elements are fine but
+        // duplicates, arity and probability-range violations are not.
+        assert_eq!(
+            builder.supports_insert(
+                &Fact::new(r, vec![treelineage_instance::Element(9)]),
+                &Rational::one_half()
+            ),
+            Ok(())
+        );
+        assert_eq!(
+            builder.supports_insert(
+                &Fact::new(r, vec![treelineage_instance::Element(0)]),
+                &Rational::one_half()
+            ),
+            Err(UpdateError::DuplicateFact(FactId(0)))
+        );
+        assert_eq!(
+            builder.supports_insert(&Fact::new(r, vec![]), &Rational::one_half()),
+            Err(UpdateError::ArityMismatch {
+                expected: 1,
+                got: 0
+            })
+        );
+        assert_eq!(
+            builder.supports_retract(FactId(inst.fact_count())),
+            Err(UpdateError::UnknownFact(FactId(inst.fact_count())))
+        );
+        assert_eq!(builder.supports_retract(FactId(0)), Ok(()));
+        // With the pinned heuristic decomposition, a fact over a new
+        // element is a typed rejection and a retraction may not orphan a
+        // domain element.
+        let (graph, _) = inst.gaifman_graph();
+        let td = treelineage_graph::treewidth::treewidth_upper_bound(&graph).1;
+        let pinned = LineageBuilder::new(&q, &inst)
+            .unwrap()
+            .with_decomposition(td)
+            .unwrap();
+        assert_eq!(
+            pinned.supports_insert(
+                &Fact::new(
+                    s,
+                    vec![
+                        treelineage_instance::Element(0),
+                        treelineage_instance::Element(9)
+                    ]
+                ),
+                &Rational::one_half()
+            ),
+            Err(UpdateError::NewElement(treelineage_instance::Element(9)))
+        );
+        // Element 2 lives only in S(1, 2): retracting it under a pinned
+        // decomposition would orphan the element.
+        let mut tail = Instance::new(sig.clone());
+        tail.add_fact_by_name("R", &[0]);
+        tail.add_fact_by_name("S", &[0, 1]);
+        tail.add_fact_by_name("S", &[1, 2]);
+        let (tail_graph, _) = tail.gaifman_graph();
+        let tail_td = treelineage_graph::treewidth::treewidth_upper_bound(&tail_graph).1;
+        let tail_builder = LineageBuilder::new(&q, &tail)
+            .unwrap()
+            .with_decomposition(tail_td)
+            .unwrap();
+        assert_eq!(
+            tail_builder.supports_retract(FactId(2)),
+            Err(UpdateError::OrphanedElement(treelineage_instance::Element(
+                2
+            )))
+        );
+        assert_eq!(tail_builder.supports_retract(FactId(0)), Ok(()));
     }
 
     #[test]

@@ -82,6 +82,36 @@ impl<'a> ProbabilityEvaluator<'a> {
         self.engine_config.clone()
     }
 
+    /// Checks whether inserting `fact` at `probability` would be accepted
+    /// by an update-capable serving session over this evaluator's instance
+    /// (see [`treelineage_engine::EvalSession::insert_fact`]). With an
+    /// explicit decomposition the check is domain-pinned — the fact must
+    /// live inside the decomposition's domain and be covered by a bag;
+    /// without one, only the instance-level checks apply.
+    pub fn supports_insert(
+        &self,
+        fact: &treelineage_instance::Fact,
+        probability: &Rational,
+    ) -> Result<(), treelineage_engine::UpdateError> {
+        let plan = match &self.decomposition {
+            Some(td) => Some(
+                treelineage_encoding::EncodingPlan::new_trusted(self.instance, td)
+                    .map_err(|e| treelineage_engine::UpdateError::Encoding(e.to_string()))?,
+            ),
+            None => None,
+        };
+        treelineage_engine::validate_insert(self.instance, plan.as_ref(), fact, probability)
+    }
+
+    /// Checks whether retracting `fact` would be accepted by an
+    /// update-capable serving session over this evaluator's instance (see
+    /// [`treelineage_engine::EvalSession::retract_fact`]): the id must be
+    /// in range, and under an explicit decomposition the retraction must
+    /// not orphan a domain element.
+    pub fn supports_retract(&self, fact: FactId) -> Result<(), treelineage_engine::UpdateError> {
+        treelineage_engine::validate_retract(self.instance, fact, self.decomposition.is_some())
+    }
+
     /// The probability that the query holds, computed through the selected
     /// [`LineageBackend`] (by default the shared decision-diagram engine:
     /// the Theorem 6.5 / 6.7 pipeline of compiling the lineage under a

@@ -244,217 +244,336 @@ pub fn encode_trusted(
     instance: &Instance,
     decomposition: &TreeDecomposition,
 ) -> Result<TreeEncoding, EncodingError> {
-    let domain: Vec<Element> = instance.domain().into_iter().collect();
-    let element_of: Vec<Element> = domain.clone();
-    let vertex_of: BTreeMap<Element, Vertex> =
-        domain.iter().enumerate().map(|(i, &e)| (e, i)).collect();
+    EncodingPlan::new_trusted(instance, decomposition)?.encode(instance)
+}
 
-    let nice = NiceTreeDecomposition::from_tree_decomposition(decomposition);
-    let alphabet = EncodingAlphabet::new(instance.signature(), nice.width())?;
+/// The instance-independent skeleton of a tree encoding: the nice
+/// decomposition, alphabet, per-node slot assignment and bag occurrence
+/// index — everything [`encode_trusted`] computes *before* it looks at the
+/// fact set. A plan is a pure function of `(signature, active domain,
+/// decomposition)`, so it can be built once and replayed against any
+/// instance with the same signature and domain: [`EncodingPlan::encode`] is
+/// then byte-identical to a fresh [`encode_trusted`] of that instance
+/// (node ids, labels, and — since events are fact ids — the event of every
+/// untouched fact). This is what makes localized re-encoding under updates
+/// sound: insert/retract of a fact that keeps the domain fixed reuses the
+/// plan, and only the fact chains change.
+#[derive(Clone, Debug)]
+pub struct EncodingPlan {
+    signature: Signature,
+    domain: Vec<Element>,
+    vertex_of: BTreeMap<Element, Vertex>,
+    nice: NiceTreeDecomposition,
+    alphabet: EncodingAlphabet,
+    depth: Vec<usize>,
+    slots: Vec<BTreeMap<Vertex, usize>>,
+    occurrences: BTreeMap<Vertex, Vec<usize>>,
+}
 
-    // Top-down pass over the nice decomposition: per-node depth and slot
-    // assignment (element slots are fixed for a vertex's whole occurrence
-    // subtree, chosen smallest-free at the unique node below its forget).
-    let n = nice.node_count();
-    let mut depth = vec![0usize; n];
-    let mut slots: Vec<BTreeMap<Vertex, usize>> = vec![BTreeMap::new(); n];
-    let mut down = vec![nice.root()];
-    while let Some(id) = down.pop() {
-        let sigma = slots[id].clone();
-        let d = depth[id];
-        match *nice.node(id) {
-            NiceNode::Leaf => {}
-            NiceNode::Introduce { vertex, child } => {
-                let mut below = sigma;
-                below.remove(&vertex);
-                slots[child] = below;
-                depth[child] = d + 1;
-                down.push(child);
-            }
-            NiceNode::Forget { vertex, child } => {
-                let mut below = sigma;
-                let free = (0..alphabet.slot_count())
-                    .find(|s| !below.values().any(|&t| t == *s))
-                    .expect("a width-k bag leaves a free slot");
-                below.insert(vertex, free);
-                slots[child] = below;
-                depth[child] = d + 1;
-                down.push(child);
-            }
-            NiceNode::Join { left, right } => {
-                slots[left] = sigma.clone();
-                slots[right] = sigma;
-                depth[left] = d + 1;
-                depth[right] = d + 1;
-                down.push(left);
-                down.push(right);
+impl EncodingPlan {
+    /// Builds the plan for `instance`'s signature and active domain over the
+    /// given (trusted, unvalidated) decomposition. Shares [`encode_trusted`]'s
+    /// contract: on an invalid decomposition the downstream invariants are
+    /// silently wrong.
+    pub fn new_trusted(
+        instance: &Instance,
+        decomposition: &TreeDecomposition,
+    ) -> Result<Self, EncodingError> {
+        let domain: Vec<Element> = instance.domain().into_iter().collect();
+        let vertex_of: BTreeMap<Element, Vertex> =
+            domain.iter().enumerate().map(|(i, &e)| (e, i)).collect();
+
+        let nice = NiceTreeDecomposition::from_tree_decomposition(decomposition);
+        let alphabet = EncodingAlphabet::new(instance.signature(), nice.width())?;
+
+        // Top-down pass over the nice decomposition: per-node depth and slot
+        // assignment (element slots are fixed for a vertex's whole occurrence
+        // subtree, chosen smallest-free at the unique node below its forget).
+        let n = nice.node_count();
+        let mut depth = vec![0usize; n];
+        let mut slots: Vec<BTreeMap<Vertex, usize>> = vec![BTreeMap::new(); n];
+        let mut down = vec![nice.root()];
+        while let Some(id) = down.pop() {
+            let sigma = slots[id].clone();
+            let d = depth[id];
+            match *nice.node(id) {
+                NiceNode::Leaf => {}
+                NiceNode::Introduce { vertex, child } => {
+                    let mut below = sigma;
+                    below.remove(&vertex);
+                    slots[child] = below;
+                    depth[child] = d + 1;
+                    down.push(child);
+                }
+                NiceNode::Forget { vertex, child } => {
+                    let mut below = sigma;
+                    let free = (0..alphabet.slot_count())
+                        .find(|s| !below.values().any(|&t| t == *s))
+                        .expect("a width-k bag leaves a free slot");
+                    below.insert(vertex, free);
+                    slots[child] = below;
+                    depth[child] = d + 1;
+                    down.push(child);
+                }
+                NiceNode::Join { left, right } => {
+                    slots[left] = sigma.clone();
+                    slots[right] = sigma;
+                    depth[left] = d + 1;
+                    depth[right] = d + 1;
+                    down.push(left);
+                    down.push(right);
+                }
             }
         }
+
+        let mut occurrences: BTreeMap<Vertex, Vec<usize>> = BTreeMap::new();
+        for id in 0..n {
+            for &v in nice.bag(id) {
+                occurrences.entry(v).or_default().push(id);
+            }
+        }
+
+        Ok(EncodingPlan {
+            signature: instance.signature().clone(),
+            domain,
+            vertex_of,
+            nice,
+            alphabet,
+            depth,
+            slots,
+            occurrences,
+        })
     }
 
-    // Attach every fact to the topmost nice node whose bag covers all of its
-    // elements. Facts over elements outside every bag (isolated Gaifman
-    // vertices) are collected per element and wrapped around the root below.
-    let mut occurrences: BTreeMap<Vertex, Vec<usize>> = BTreeMap::new();
-    for id in 0..n {
-        for &v in nice.bag(id) {
-            occurrences.entry(v).or_default().push(id);
-        }
+    /// The alphabet encodings built from this plan are labelled over.
+    pub fn alphabet(&self) -> &EncodingAlphabet {
+        &self.alphabet
     }
-    let mut facts_at: Vec<Vec<FactId>> = vec![Vec::new(); n];
-    let mut root_facts: Vec<FactId> = Vec::new();
-    let mut wrapped: BTreeMap<Element, Vec<FactId>> = BTreeMap::new();
-    for (fact_id, fact) in instance.facts() {
-        let vertices: Vec<Vertex> = fact.elements().iter().map(|e| vertex_of[e]).collect();
-        if vertices.is_empty() {
-            root_facts.push(fact_id);
-            continue;
+
+    /// The active domain the plan was built for, sorted.
+    pub fn domain(&self) -> &[Element] {
+        &self.domain
+    }
+
+    /// Whether `element` is part of the plan's pinned domain. A fact over an
+    /// element outside the domain cannot be encoded by this plan (the vertex
+    /// numbering the decomposition's bags refer to would shift).
+    pub fn contains_element(&self, element: Element) -> bool {
+        self.vertex_of.contains_key(&element)
+    }
+
+    /// Whether a fact over the given element set can be encoded by this plan:
+    /// all elements must be in the pinned domain, and a fact touching two or
+    /// more distinct elements additionally needs one bag of the decomposition
+    /// containing all of them (which also keeps the decomposition a valid one
+    /// for the grown Gaifman graph). Nullary and single-element facts are
+    /// always placeable — the root chain and the wrapped introduce/forget
+    /// chains catch them.
+    pub fn covers(&self, elements: &std::collections::BTreeSet<Element>) -> bool {
+        if !elements.iter().all(|e| self.contains_element(*e)) {
+            return false;
         }
+        if elements.len() < 2 {
+            return true;
+        }
+        let vertices: Vec<Vertex> = elements.iter().map(|e| self.vertex_of[e]).collect();
         let rarest = vertices
             .iter()
-            .min_by_key(|v| occurrences.get(v).map_or(0, |o| o.len()))
+            .min_by_key(|v| self.occurrences.get(v).map_or(0, |o| o.len()))
             .copied()
             .expect("nonempty vertex list");
-        match occurrences.get(&rarest) {
-            None => {
-                // Uncovered: only possible when the fact touches one isolated
-                // element (multi-element facts induce covered Gaifman edges).
-                debug_assert_eq!(vertices.len(), 1);
-                wrapped
-                    .entry(element_of[vertices[0]])
-                    .or_default()
-                    .push(fact_id);
-            }
-            Some(candidates) => {
-                let node = candidates
-                    .iter()
-                    .copied()
-                    .filter(|&id| {
-                        let bag = nice.bag(id);
-                        vertices.iter().all(|v| bag.contains(v))
-                    })
-                    .min_by_key(|&id| depth[id])
-                    .expect("a clique of the Gaifman graph fits in some bag");
-                facts_at[node].push(fact_id);
-            }
+        match self.occurrences.get(&rarest) {
+            None => false,
+            Some(candidates) => candidates.iter().any(|&id| {
+                let bag = self.nice.bag(id);
+                vertices.iter().all(|v| bag.contains(v))
+            }),
         }
     }
-    for list in facts_at.iter_mut() {
-        list.sort_unstable();
-    }
-    root_facts.sort_unstable();
 
-    // Bottom-up construction of the binary encoding tree.
-    let mut tree = BinaryTree::new();
-    let mut forget_elements: BTreeMap<usize, Element> = BTreeMap::new();
-    let mut fact_events: Vec<(NodeId, FactId, usize, usize)> = Vec::new();
-    let mut fact_nodes: BTreeMap<FactId, NodeId> = BTreeMap::new();
-    let mut encoded: Vec<Option<NodeId>> = vec![None; n];
-    let empty = alphabet.empty();
+    /// Replays the plan against an instance, producing the same
+    /// [`TreeEncoding`] a fresh [`encode_trusted`] of that instance would.
+    /// The instance must have the plan's signature and exactly the plan's
+    /// active domain, and every fact must be placeable ([`Self::covers`]);
+    /// domain drift is reported as an [`EncodingError::InvalidDecomposition`]
+    /// (the decomposition no longer matches the instance's vertex set).
+    pub fn encode(&self, instance: &Instance) -> Result<TreeEncoding, EncodingError> {
+        let current: Vec<Element> = instance.domain().into_iter().collect();
+        if current != self.domain {
+            return Err(EncodingError::InvalidDecomposition(format!(
+                "encoding plan pinned to a {}-element domain, instance has {}: \
+                 updates must preserve the active domain",
+                self.domain.len(),
+                current.len()
+            )));
+        }
+        let element_of = &self.domain;
+        let vertex_of = &self.vertex_of;
+        let nice = &self.nice;
+        let alphabet = &self.alphabet;
+        let n = nice.node_count();
 
-    let push_fact_chain = |tree: &mut BinaryTree,
-                           fact_events: &mut Vec<(NodeId, FactId, usize, usize)>,
-                           fact_nodes: &mut BTreeMap<FactId, NodeId>,
-                           mut acc: NodeId,
-                           facts: &[FactId],
-                           sigma: &BTreeMap<Vertex, usize>| {
-        for &fact_id in facts {
-            let fact = instance.fact(fact_id);
-            let slot_tuple: Vec<usize> = fact
-                .arguments()
+        // Attach every fact to the topmost nice node whose bag covers all of
+        // its elements. Facts over elements outside every bag (isolated
+        // Gaifman vertices) are collected per element and wrapped around the
+        // root below.
+        let mut facts_at: Vec<Vec<FactId>> = vec![Vec::new(); n];
+        let mut root_facts: Vec<FactId> = Vec::new();
+        let mut wrapped: BTreeMap<Element, Vec<FactId>> = BTreeMap::new();
+        for (fact_id, fact) in instance.facts() {
+            let vertices: Vec<Vertex> = fact.elements().iter().map(|e| vertex_of[e]).collect();
+            if vertices.is_empty() {
+                root_facts.push(fact_id);
+                continue;
+            }
+            let rarest = vertices
                 .iter()
-                .map(|e| sigma[&vertex_of[e]])
-                .collect();
-            let present = alphabet.fact(fact.relation(), &slot_tuple, true);
-            let absent = alphabet.fact(fact.relation(), &slot_tuple, false);
-            let pad = tree.leaf(empty);
-            let node = tree.internal(present, acc, pad);
-            fact_events.push((node, fact_id, present, absent));
-            fact_nodes.insert(fact_id, node);
-            acc = node;
+                .min_by_key(|v| self.occurrences.get(v).map_or(0, |o| o.len()))
+                .copied()
+                .expect("nonempty vertex list");
+            match self.occurrences.get(&rarest) {
+                None => {
+                    // Uncovered: only possible when the fact touches one
+                    // isolated element (multi-element facts induce covered
+                    // Gaifman edges).
+                    debug_assert_eq!(vertices.len(), 1);
+                    wrapped
+                        .entry(element_of[vertices[0]])
+                        .or_default()
+                        .push(fact_id);
+                }
+                Some(candidates) => {
+                    let node = candidates
+                        .iter()
+                        .copied()
+                        .filter(|&id| {
+                            let bag = nice.bag(id);
+                            vertices.iter().all(|v| bag.contains(v))
+                        })
+                        .min_by_key(|&id| self.depth[id])
+                        .expect("a clique of the Gaifman graph fits in some bag");
+                    facts_at[node].push(fact_id);
+                }
+            }
         }
-        acc
-    };
+        for list in facts_at.iter_mut() {
+            list.sort_unstable();
+        }
+        root_facts.sort_unstable();
 
-    for id in nice.post_order() {
-        let base = match *nice.node(id) {
-            NiceNode::Leaf => tree.leaf(empty),
-            NiceNode::Introduce { vertex, child } => {
+        // Bottom-up construction of the binary encoding tree.
+        let mut tree = BinaryTree::new();
+        let mut forget_elements: BTreeMap<usize, Element> = BTreeMap::new();
+        let mut fact_events: Vec<(NodeId, FactId, usize, usize)> = Vec::new();
+        let mut fact_nodes: BTreeMap<FactId, NodeId> = BTreeMap::new();
+        let mut encoded: Vec<Option<NodeId>> = vec![None; n];
+        let empty = alphabet.empty();
+
+        let push_fact_chain = |tree: &mut BinaryTree,
+                               fact_events: &mut Vec<(NodeId, FactId, usize, usize)>,
+                               fact_nodes: &mut BTreeMap<FactId, NodeId>,
+                               mut acc: NodeId,
+                               facts: &[FactId],
+                               sigma: &BTreeMap<Vertex, usize>| {
+            for &fact_id in facts {
+                let fact = instance.fact(fact_id);
+                let slot_tuple: Vec<usize> = fact
+                    .arguments()
+                    .iter()
+                    .map(|e| sigma[&vertex_of[e]])
+                    .collect();
+                let present = alphabet.fact(fact.relation(), &slot_tuple, true);
+                let absent = alphabet.fact(fact.relation(), &slot_tuple, false);
                 let pad = tree.leaf(empty);
-                let below = encoded[child].expect("post-order");
-                tree.internal(alphabet.introduce(slots[id][&vertex]), below, pad)
+                let node = tree.internal(present, acc, pad);
+                fact_events.push((node, fact_id, present, absent));
+                fact_nodes.insert(fact_id, node);
+                acc = node;
             }
-            NiceNode::Forget { vertex, child } => {
-                let pad = tree.leaf(empty);
-                let below = encoded[child].expect("post-order");
-                let node = tree.internal(alphabet.forget(slots[child][&vertex]), below, pad);
-                forget_elements.insert(node.0, element_of[vertex]);
-                node
-            }
-            NiceNode::Join { left, right } => {
-                let l = encoded[left].expect("post-order");
-                let r = encoded[right].expect("post-order");
-                tree.internal(alphabet.join(), l, r)
-            }
+            acc
         };
-        encoded[id] = Some(push_fact_chain(
-            &mut tree,
-            &mut fact_events,
-            &mut fact_nodes,
-            base,
-            &facts_at[id],
-            &slots[id],
-        ));
-    }
 
-    let mut root = encoded[nice.root()].expect("root encoded");
-    // Nullary facts (no elements) sit directly above the nice root.
-    root = push_fact_chain(
-        &mut tree,
-        &mut fact_events,
-        &mut fact_nodes,
-        root,
-        &root_facts,
-        &BTreeMap::new(),
-    );
-    // Wrap uncovered elements: introduce at slot 0, assert their facts,
-    // forget again. The fact slots all reference slot 0.
-    for (&element, facts) in &wrapped {
-        let pad = tree.leaf(empty);
-        let intro = tree.internal(alphabet.introduce(0), root, pad);
-        let sigma: BTreeMap<Vertex, usize> =
-            std::iter::once((vertex_of[&element], 0usize)).collect();
-        let mut facts = facts.clone();
-        facts.sort_unstable();
-        let chain = push_fact_chain(
+        for id in nice.post_order() {
+            let base = match *nice.node(id) {
+                NiceNode::Leaf => tree.leaf(empty),
+                NiceNode::Introduce { vertex, child } => {
+                    let pad = tree.leaf(empty);
+                    let below = encoded[child].expect("post-order");
+                    tree.internal(alphabet.introduce(self.slots[id][&vertex]), below, pad)
+                }
+                NiceNode::Forget { vertex, child } => {
+                    let pad = tree.leaf(empty);
+                    let below = encoded[child].expect("post-order");
+                    let node =
+                        tree.internal(alphabet.forget(self.slots[child][&vertex]), below, pad);
+                    forget_elements.insert(node.0, element_of[vertex]);
+                    node
+                }
+                NiceNode::Join { left, right } => {
+                    let l = encoded[left].expect("post-order");
+                    let r = encoded[right].expect("post-order");
+                    tree.internal(alphabet.join(), l, r)
+                }
+            };
+            encoded[id] = Some(push_fact_chain(
+                &mut tree,
+                &mut fact_events,
+                &mut fact_nodes,
+                base,
+                &facts_at[id],
+                &self.slots[id],
+            ));
+        }
+
+        let mut root = encoded[nice.root()].expect("root encoded");
+        // Nullary facts (no elements) sit directly above the nice root.
+        root = push_fact_chain(
             &mut tree,
             &mut fact_events,
             &mut fact_nodes,
-            intro,
-            &facts,
-            &sigma,
+            root,
+            &root_facts,
+            &BTreeMap::new(),
         );
-        let pad = tree.leaf(empty);
-        let forget = tree.internal(alphabet.forget(0), chain, pad);
-        forget_elements.insert(forget.0, element);
-        root = forget;
-    }
-    tree.set_root(root);
+        // Wrap uncovered elements: introduce at slot 0, assert their facts,
+        // forget again. The fact slots all reference slot 0.
+        for (&element, facts) in &wrapped {
+            let pad = tree.leaf(empty);
+            let intro = tree.internal(alphabet.introduce(0), root, pad);
+            let sigma: BTreeMap<Vertex, usize> =
+                std::iter::once((vertex_of[&element], 0usize)).collect();
+            let mut facts = facts.clone();
+            facts.sort_unstable();
+            let chain = push_fact_chain(
+                &mut tree,
+                &mut fact_events,
+                &mut fact_nodes,
+                intro,
+                &facts,
+                &sigma,
+            );
+            let pad = tree.leaf(empty);
+            let forget = tree.internal(alphabet.forget(0), chain, pad);
+            forget_elements.insert(forget.0, element);
+            root = forget;
+        }
+        tree.set_root(root);
 
-    let mut uncertain = UncertainTree::certain(tree);
-    for &(node, fact_id, present, absent) in &fact_events {
-        uncertain.set_event(node, fact_id.0, present, absent);
-    }
-    debug_assert_eq!(fact_events.len(), instance.fact_count());
+        let mut uncertain = UncertainTree::certain(tree);
+        for &(node, fact_id, present, absent) in &fact_events {
+            uncertain.set_event(node, fact_id.0, present, absent);
+        }
+        debug_assert_eq!(fact_events.len(), instance.fact_count());
 
-    Ok(TreeEncoding {
-        alphabet,
-        tree: uncertain,
-        signature: instance.signature().clone(),
-        fact_count: instance.fact_count(),
-        forget_elements,
-        fact_nodes,
-    })
+        Ok(TreeEncoding {
+            alphabet: alphabet.clone(),
+            tree: uncertain,
+            signature: self.signature.clone(),
+            fact_count: instance.fact_count(),
+            forget_elements,
+            fact_nodes,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -549,6 +668,75 @@ mod tests {
         let result = encode(&inst, &TreeDecomposition::new());
         assert!(matches!(
             result,
+            Err(EncodingError::InvalidDecomposition(_))
+        ));
+    }
+
+    fn same_trees(a: &TreeEncoding, b: &TreeEncoding) -> bool {
+        let (ta, tb) = (a.tree(), b.tree());
+        if ta.tree().node_count() != tb.tree().node_count() || ta.events() != tb.events() {
+            return false;
+        }
+        if ta.tree().root() != tb.tree().root() {
+            return false;
+        }
+        (0..ta.tree().node_count()).all(|i| {
+            let node = NodeId(i);
+            ta.tree().label(node) == tb.tree().label(node)
+                && ta.tree().children(node) == tb.tree().children(node)
+                && ta.annotation(node) == tb.annotation(node)
+        })
+    }
+
+    #[test]
+    fn plan_replay_matches_fresh_encode_after_updates() {
+        // Build the plan on the original instance, mutate the fact set
+        // (domain-preserving retract + insert), and check the plan replay is
+        // node-for-node identical to a fresh encode of the mutated instance.
+        let mut inst = chain(4);
+        let td = heuristic_td(&inst);
+        let plan = EncodingPlan::new_trusted(&inst, &td).unwrap();
+        assert!(same_trees(
+            &plan.encode(&inst).unwrap(),
+            &encode_trusted(&inst, &td).unwrap()
+        ));
+
+        let s = inst.signature().relation_by_name("S").unwrap();
+        let retract = inst.fact_id(s, &[Element(1), Element(2)]).unwrap();
+        inst.remove_fact(retract);
+        assert!(same_trees(
+            &plan.encode(&inst).unwrap(),
+            &encode_trusted(&inst, &td).unwrap()
+        ));
+
+        inst.add_fact(s, vec![Element(1), Element(2)]);
+        assert!(same_trees(
+            &plan.encode(&inst).unwrap(),
+            &encode_trusted(&inst, &td).unwrap()
+        ));
+    }
+
+    #[test]
+    fn plan_coverage_pins_domain_and_bags() {
+        let inst = chain(2);
+        let td = heuristic_td(&inst);
+        let plan = EncodingPlan::new_trusted(&inst, &td).unwrap();
+
+        // In-domain elements are covered; single-element facts always are.
+        assert!(plan.contains_element(Element(0)));
+        assert!(!plan.contains_element(Element(99)));
+        assert!(plan.covers(&BTreeSet::from([Element(2)])));
+        // An adjacent pair shares a bag; a non-adjacent pair does not.
+        assert!(plan.covers(&BTreeSet::from([Element(0), Element(1)])));
+        assert!(!plan.covers(&BTreeSet::from([Element(0), Element(2)])));
+        // Out-of-domain elements are never covered.
+        assert!(!plan.covers(&BTreeSet::from([Element(0), Element(99)])));
+
+        // Replaying against a domain-drifted instance is a typed error.
+        let mut drifted = chain(2);
+        drifted.add_fact_by_name("R", &[99]);
+        assert!(matches!(
+            plan.encode(&drifted),
             Err(EncodingError::InvalidDecomposition(_))
         ));
     }

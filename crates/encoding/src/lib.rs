@@ -76,4 +76,6 @@ pub use compile::{
     compile_mso, compile_ucq, mso_to_ucq, CompileError, CompileOptions, CompiledQuery,
     DEFAULT_STATE_BUDGET,
 };
-pub use encode::{encode, encode_traced, encode_trusted, EncodingError, TreeEncoding};
+pub use encode::{
+    encode, encode_traced, encode_trusted, EncodingError, EncodingPlan, TreeEncoding,
+};

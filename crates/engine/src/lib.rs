@@ -40,9 +40,10 @@ pub use parallel::{
     compile_structured_dnnf_parallel, parallel_reachable_states, CircuitPartition, ParallelDnnf,
 };
 pub use session::{
-    CacheOccupancy, DecisionTier, EngineError, EvalSession, ExplainReport, InstanceId,
-    ProbabilityRequest, QueryId, SessionBackend, SessionStats, SlowRequest, StageTiming,
-    ThresholdDecision, ThresholdRequest, WmcRequest,
+    validate_insert, validate_retract, CacheOccupancy, DecisionTier, EngineError, EvalSession,
+    ExplainReport, InstanceId, ProbabilityRequest, QueryId, SessionBackend, SessionStats,
+    SlowRequest, StageTiming, ThresholdDecision, ThresholdRequest, UpdateError, UpdateKind,
+    UpdateReport, WmcRequest,
 };
 pub use treelineage_telemetry::{
     to_chrome_trace, ContextGuard, MetricsSnapshot, Registry, Span, SpanContext, SpanEvent,

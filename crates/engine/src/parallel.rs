@@ -285,6 +285,79 @@ struct Fragment {
     root_vnode: Option<VtreeId>,
 }
 
+/// The full post-order content of a fragment subtree — `(label, is-leaf,
+/// event annotation)` per node. Two subtrees with equal keys have equal
+/// shape, labels and events, so [`compile_fragment`] produces byte-identical
+/// output for them (its gate stream is a pure function of this content and
+/// the automaton's memoized transitions). Keys are compared in full — no
+/// hash shortcut decides reuse.
+type FragmentKey = Vec<(usize, bool, Option<(usize, usize, usize)>)>;
+
+fn fragment_key(tree: &UncertainTree, root: NodeId) -> FragmentKey {
+    tree.tree()
+        .post_order_from(root)
+        .into_iter()
+        .map(|node| {
+            let annotation = match tree.annotation(node) {
+                NodeAnnotation::Fixed => None,
+                NodeAnnotation::Event {
+                    event,
+                    if_true,
+                    if_false,
+                } => Some((event, if_true, if_false)),
+            };
+            (
+                tree.tree().label(node),
+                tree.tree().is_leaf(node),
+                annotation,
+            )
+        })
+        .collect()
+}
+
+/// Compiled fragments of one artifact, keyed by subtree content: the unit
+/// of reuse for incremental recompilation. After an update, fragments whose
+/// post-order content (shape, labels, events) is unchanged hit the library
+/// and skip [`compile_fragment`] entirely; only dirty fragments recompile,
+/// and the deterministic merge replays as usual. Validity is the caller's
+/// contract: a library may only be replayed against the *same* compiled
+/// query machine that produced it (state numbering is machine-history
+/// dependent), with an automaton whose state count has only grown — the
+/// session layer guards both.
+#[derive(Clone, Default)]
+pub(crate) struct FragmentLibrary {
+    fragments: HashMap<FragmentKey, std::sync::Arc<Fragment>>,
+}
+
+impl FragmentLibrary {
+    /// Number of fragments held.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.fragments.len()
+    }
+}
+
+/// How much of a cached compile was reused vs recompiled — the dirty-set
+/// accounting behind the session's `fragments_recompiled` counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) struct RecompileStats {
+    /// Fragments in the plan (0 for a sequential compile).
+    pub(crate) total: usize,
+    /// Fragments served from the library.
+    pub(crate) reused: usize,
+    /// Fragments compiled fresh (dirty, or no library offered).
+    pub(crate) recompiled: usize,
+}
+
+/// The artifact of [`compile_with_pool_cached`]: the compiled d-SDNNF, the
+/// fragment library to seed the *next* incremental compile with, and the
+/// reuse accounting.
+pub(crate) struct CachedCompile {
+    pub(crate) artifact: ParallelDnnf,
+    pub(crate) library: FragmentLibrary,
+    pub(crate) stats: RecompileStats,
+}
+
 /// Compiles the provenance of a deterministic automaton on an uncertain
 /// tree into a certified smooth d-SDNNF, splitting the tree into disjoint
 /// subtrees compiled on `config.threads` worker threads. The output is
@@ -313,12 +386,34 @@ pub(crate) fn compile_with_pool(
     config: &EngineConfig,
     pool_threads: usize,
 ) -> Result<ParallelDnnf, StructuredDnnfError> {
+    compile_with_pool_cached(automaton, tree, config, pool_threads, None).map(|c| c.artifact)
+}
+
+/// [`compile_with_pool`] with fragment reuse: fragments of `previous` whose
+/// subtree content is unchanged are replayed instead of recompiled, and the
+/// output is **byte-identical** to a compile without the library (same
+/// gates, ids, operand order, vtree) — reuse changes which thread produces
+/// a block of gates, never the gates. Preconditions on `previous` (enforced
+/// by the session layer): it was produced by this function against the same
+/// compiled query machine, whose state count can only have grown since.
+pub(crate) fn compile_with_pool_cached(
+    automaton: &TreeAutomaton,
+    tree: &UncertainTree,
+    config: &EngineConfig,
+    pool_threads: usize,
+    previous: Option<&FragmentLibrary>,
+) -> Result<CachedCompile, StructuredDnnfError> {
     let telemetry = &config.telemetry;
     let plan = match SubtreePlan::cut(tree.tree(), config.threads, config.fragment_grain) {
         Some(plan) => plan,
         None => {
-            return compile_structured_dnnf_traced(automaton, tree, telemetry)
-                .map(|s| ParallelDnnf::sequential(s).with_telemetry(telemetry.clone()))
+            return compile_structured_dnnf_traced(automaton, tree, telemetry).map(|s| {
+                CachedCompile {
+                    artifact: ParallelDnnf::sequential(s).with_telemetry(telemetry.clone()),
+                    library: FragmentLibrary::default(),
+                    stats: RecompileStats::default(),
+                }
+            })
         }
     };
     // Same validation, in the same order, as the sequential compiler: the
@@ -339,19 +434,52 @@ pub(crate) fn compile_with_pool(
 
     let states = automaton.state_count();
 
-    // Phase 1: fragments, in parallel. Results land in cut order, so
+    // Phase 1: fragments, in parallel — but first settle, per cut, whether
+    // the library already holds this subtree's compile. The key is the full
+    // post-order content, so a hit is exactly "this subtree is untouched".
+    let keys: Vec<FragmentKey> = plan
+        .cuts
+        .iter()
+        .map(|&cut| fragment_key(tree, cut))
+        .collect();
+    let cached: Vec<Option<std::sync::Arc<Fragment>>> = keys
+        .iter()
+        .map(|key| previous.and_then(|lib| lib.fragments.get(key).cloned()))
+        .collect();
+    let dirty: Vec<usize> = (0..plan.cuts.len())
+        .filter(|&i| cached[i].is_none())
+        .collect();
+    let stats = RecompileStats {
+        total: plan.cuts.len(),
+        reused: plan.cuts.len() - dirty.len(),
+        recompiled: dirty.len(),
+    };
+
+    // Only dirty fragments hit the pool. Results land in dirty order, so
     // nothing downstream depends on completion order.
-    let fragments: Vec<Fragment> = {
+    let compiled: Vec<Fragment> = {
         let mut span = telemetry.span("dsdnnf_fragments");
         span.label("fragments", plan.cuts.len());
-        run_tasks(pool_threads, plan.cuts.len(), telemetry, |i| {
+        span.label("reused", stats.reused);
+        run_tasks(pool_threads, dirty.len(), telemetry, |j| {
             // On a pool worker this parents to the `dsdnnf_fragments` span
             // through the context captured at spawn time; inline it nests
             // via the caller's span stack. Either way: one connected trace.
             let mut fragment_span = telemetry.span("dsdnnf_fragment");
-            fragment_span.label("fragment", i);
-            compile_fragment(automaton, tree, plan.cuts[i], states)
+            fragment_span.label("fragment", dirty[j]);
+            compile_fragment(automaton, tree, plan.cuts[dirty[j]], states)
         })
+    };
+    let mut compiled = compiled.into_iter();
+    let fragments: Vec<std::sync::Arc<Fragment>> = cached
+        .into_iter()
+        .map(|slot| match slot {
+            Some(fragment) => fragment,
+            None => std::sync::Arc::new(compiled.next().expect("one compile per dirty cut")),
+        })
+        .collect();
+    let library = FragmentLibrary {
+        fragments: keys.into_iter().zip(fragments.iter().cloned()).collect(),
     };
 
     // Phase 2: deterministic merge — walk the global post-order, replay
@@ -388,10 +516,14 @@ pub(crate) fn compile_with_pool(
                         GateId(gate_offset + g.0 - 2)
                     }
                 };
-                gates.insert(
-                    node.0,
-                    fragment.root_gates.iter().map(|&g| map(g)).collect(),
-                );
+                // A library fragment may predate states the automaton has
+                // interned since; those are unreachable in its (unchanged)
+                // subtree, so pad its root gates with `false`.
+                debug_assert!(fragment.root_gates.len() <= states);
+                let mut root_gates: Vec<GateId> =
+                    fragment.root_gates.iter().map(|&g| map(g)).collect();
+                root_gates.resize(states, false_gate);
+                gates.insert(node.0, root_gates);
                 vnodes.insert(
                     node.0,
                     fragment.root_vnode.map(|v| VtreeId(vtree_offset + v.0)),
@@ -446,10 +578,14 @@ pub(crate) fn compile_with_pool(
     }
     let dnnf = Dnnf::from_trusted_circuit(circuit)
         .expect("the structured construction is decomposable by construction");
-    Ok(ParallelDnnf {
-        structured: StructuredDnnf::from_trusted_parts(dnnf, vtree, tree.events()),
-        partition,
-        telemetry: telemetry.clone(),
+    Ok(CachedCompile {
+        artifact: ParallelDnnf {
+            structured: StructuredDnnf::from_trusted_parts(dnnf, vtree, tree.events()),
+            partition,
+            telemetry: telemetry.clone(),
+        },
+        library,
+        stats,
     })
 }
 
@@ -1219,6 +1355,73 @@ mod tests {
                 "threads={threads}"
             );
         }
+    }
+
+    /// A leaf owned by some fragment of the plan (not on the spine).
+    fn fragment_leaf(u: &UncertainTree, plan: &SubtreePlan) -> NodeId {
+        (0..u.tree().node_count())
+            .map(NodeId)
+            .find(|&n| u.tree().is_leaf(n) && plan.owner[n.0].is_some())
+            .expect("a multi-fragment plan owns some leaf")
+    }
+
+    #[test]
+    fn a_touched_node_dirties_exactly_its_owning_fragment() {
+        let u = big_comb(400);
+        let plan = SubtreePlan::cut(u.tree(), 4, 0).expect("big tree must split");
+        let leaf = fragment_leaf(&u, &plan);
+        let owner = plan.owner[leaf.0].unwrap() as usize;
+        let before: Vec<FragmentKey> = plan.cuts.iter().map(|&c| fragment_key(&u, c)).collect();
+        let mut mutated = u.clone();
+        mutated.set_event(leaf, 9999, 1, 0);
+        let after: Vec<FragmentKey> = plan
+            .cuts
+            .iter()
+            .map(|&c| fragment_key(&mutated, c))
+            .collect();
+        for (i, (b, a)) in before.iter().zip(&after).enumerate() {
+            assert_eq!(b == a, i != owner, "fragment {i}");
+        }
+    }
+
+    #[test]
+    fn cached_recompile_is_byte_identical_and_reuses_untouched_fragments() {
+        let automaton = treelineage_automata::parity_automaton(2);
+        let u = big_comb(400);
+        let config = EngineConfig::with_threads(4);
+        let first = compile_with_pool_cached(&automaton, &u, &config, 4, None).unwrap();
+        let total = first.stats.total;
+        assert!(total >= 2);
+        assert_eq!(first.stats.reused, 0);
+        assert_eq!(first.stats.recompiled, total);
+        assert_eq!(first.library.len(), total);
+
+        // Replaying the library against the unchanged tree is zero-dirty and
+        // still byte-identical.
+        let replay =
+            compile_with_pool_cached(&automaton, &u, &config, 4, Some(&first.library)).unwrap();
+        assert_eq!(replay.stats.recompiled, 0);
+        assert_eq!(replay.stats.reused, total);
+        assert_identical(
+            &replay.artifact,
+            &compile_structured_dnnf(&automaton, &u).unwrap(),
+        );
+
+        // Touch one fragment-owned leaf: exactly one fragment recompiles,
+        // and the result equals a cold compile of the mutated tree.
+        let plan = SubtreePlan::cut(u.tree(), 4, 0).unwrap();
+        let leaf = fragment_leaf(&u, &plan);
+        let mut mutated = u.clone();
+        mutated.set_event(leaf, 9999, 1, 0);
+        let second =
+            compile_with_pool_cached(&automaton, &mutated, &config, 4, Some(&first.library))
+                .unwrap();
+        assert_eq!(second.stats.recompiled, 1);
+        assert_eq!(second.stats.reused, total - 1);
+        assert_identical(
+            &second.artifact,
+            &compile_structured_dnnf(&automaton, &mutated).unwrap(),
+        );
     }
 
     proptest::proptest! {

@@ -34,19 +34,20 @@
 //! `tests/parallel_differential.rs`).
 
 use crate::approx::karp_luby_probability;
-use crate::parallel::ParallelDnnf;
+use crate::parallel::{compile_with_pool_cached, FragmentLibrary, ParallelDnnf};
 use crate::pool::{lock_recovering, run_tasks, run_tasks_catching};
 use crate::{variable_order_from_decomposition, EngineConfig};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, Weak};
 use std::time::Instant;
 use treelineage_dd::Manager;
 use treelineage_encoding::{
-    compile_ucq, CompileError, CompileOptions, CompiledQuery, EncodingError, TreeEncoding,
+    compile_ucq, CompileError, CompileOptions, CompiledQuery, EncodingError, EncodingPlan,
+    TreeEncoding,
 };
 use treelineage_graph::TreeDecomposition;
-use treelineage_instance::{FactId, Instance, ProbabilityValuation};
+use treelineage_instance::{Element, Fact, FactId, Instance, ProbabilityValuation};
 use treelineage_num::{BigUint, ErrorInterval, Rational};
 use treelineage_query::{matching, UnionOfConjunctiveQueries};
 use treelineage_telemetry::{MetricsSnapshot, Span, SpanEvent};
@@ -148,6 +149,199 @@ impl std::fmt::Display for EngineError {
 }
 
 impl std::error::Error for EngineError {}
+
+/// The kind of a mutation applied through [`EvalSession::insert_fact`],
+/// [`EvalSession::retract_fact`] or [`EvalSession::set_probability`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UpdateKind {
+    /// A new fact was inserted (structural).
+    Insert,
+    /// An existing fact was retracted (structural).
+    Retract,
+    /// One fact's probability was overridden (weights only).
+    SetProbability,
+}
+
+impl UpdateKind {
+    /// Stable lowercase name of the kind, used as the `kind` label of the
+    /// `updates_total` telemetry series.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            UpdateKind::Insert => "insert",
+            UpdateKind::Retract => "retract",
+            UpdateKind::SetProbability => "set_probability",
+        }
+    }
+}
+
+/// Typed rejection of a mutation. Rejected updates leave the session
+/// untouched: no cache layer is invalidated, no counter moves, the epoch
+/// stays. The domain-pinning variants ([`UpdateError::NewElement`],
+/// [`UpdateError::UncoveredFact`], [`UpdateError::OrphanedElement`]) exist
+/// because a session instance's tree decomposition — and with it the
+/// encoding's event numbering — is pinned to the Gaifman graph of the
+/// *registered* active domain: an update that grows or shrinks the domain,
+/// or introduces a fact no decomposition bag covers, would shift every
+/// vertex index and silently invalidate the incremental-recompile contract.
+/// Such updates need a re-registration, not an in-place mutation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UpdateError {
+    /// The instance handle does not belong to this session.
+    UnknownInstance(usize),
+    /// The fact id names no fact of the instance (retracting an absent fact
+    /// lands here).
+    UnknownFact(FactId),
+    /// The inserted fact's argument count does not match its relation's
+    /// arity in the instance's signature.
+    ArityMismatch {
+        /// Arity the signature declares for the relation.
+        expected: usize,
+        /// Arguments the fact carries.
+        got: usize,
+    },
+    /// The inserted fact is already present (at the reported id). Instances
+    /// are fact *sets*; inserting a duplicate is a rejected no-op, mirroring
+    /// the idempotence of registration-time loading.
+    DuplicateFact(FactId),
+    /// The inserted fact mentions an element outside the pinned active
+    /// domain.
+    NewElement(Element),
+    /// The inserted fact's elements are all in the domain, but no bag of the
+    /// pinned decomposition contains them jointly (the fact has no home in
+    /// the tree encoding, and its Gaifman edges may exceed the width).
+    UncoveredFact,
+    /// Retracting the fact would orphan the reported element (it occurs in
+    /// no other fact), shrinking the pinned active domain.
+    OrphanedElement(Element),
+    /// The probability is outside `[0, 1]`.
+    InvalidProbability,
+    /// The pinned decomposition could not be turned into an encoding plan
+    /// (alphabet limits); the instance cannot accept structural updates.
+    Encoding(String),
+}
+
+impl std::fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UpdateError::UnknownInstance(i) => write!(f, "unknown instance handle {i}"),
+            UpdateError::UnknownFact(id) => write!(f, "no fact with id {}", id.0),
+            UpdateError::ArityMismatch { expected, got } => {
+                write!(f, "arity mismatch: relation expects {expected}, got {got}")
+            }
+            UpdateError::DuplicateFact(id) => {
+                write!(f, "fact already present with id {}", id.0)
+            }
+            UpdateError::NewElement(e) => {
+                write!(f, "element {} is outside the pinned active domain", e.0)
+            }
+            UpdateError::UncoveredFact => {
+                write!(f, "no decomposition bag covers the fact's elements")
+            }
+            UpdateError::OrphanedElement(e) => {
+                write!(f, "retraction would orphan element {}", e.0)
+            }
+            UpdateError::InvalidProbability => write!(f, "probability out of [0, 1]"),
+            UpdateError::Encoding(e) => write!(f, "encoding plan failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+/// What an applied update did, returned by the [`EvalSession`] mutation
+/// methods.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UpdateReport {
+    /// The kind of mutation applied.
+    pub kind: UpdateKind,
+    /// The fact the update touched: the new fact's id for an insert, the
+    /// vacated id for a retract (where the moved fact now lives, if any),
+    /// the reweighted fact for a probability override.
+    pub fact: FactId,
+    /// Retract only: the id the previously-last fact moved *from* (it now
+    /// lives at [`UpdateReport::fact`]); `None` when the retracted fact was
+    /// itself last, and for the other kinds.
+    pub moved: Option<FactId>,
+    /// Whether the update changed the fact set (and therefore invalidated
+    /// the structural cache layers). Probability overrides are
+    /// non-structural: the gate stream is probability-independent, so only
+    /// the session's resident valuation changes.
+    pub structural: bool,
+    /// Whether the update was a zero-dirty fast path (overriding a
+    /// probability with its current value): accepted, but nothing changed
+    /// and no cache layer was touched.
+    pub no_op: bool,
+    /// The instance's update epoch after this update (0 at registration,
+    /// +1 per applied non-no-op update).
+    pub epoch: u64,
+    /// How many resident lineage artifacts the update invalidated (their
+    /// fragment libraries are retained for incremental recompilation).
+    pub invalidated_lineages: usize,
+}
+
+/// Validates a fact insertion against an instance, and — when the instance
+/// is pinned to an [`EncodingPlan`] — against the plan's domain and bag
+/// coverage. With `plan: None` (a caller deriving a fresh heuristic
+/// decomposition per evaluation, like the core builders without an explicit
+/// decomposition) only the instance-level checks apply: any in-signature,
+/// non-duplicate fact is insertable.
+pub fn validate_insert(
+    instance: &Instance,
+    plan: Option<&EncodingPlan>,
+    fact: &Fact,
+    probability: &Rational,
+) -> Result<(), UpdateError> {
+    let expected = instance.signature().arity(fact.relation());
+    if fact.arguments().len() != expected {
+        return Err(UpdateError::ArityMismatch {
+            expected,
+            got: fact.arguments().len(),
+        });
+    }
+    if !probability.is_probability() {
+        return Err(UpdateError::InvalidProbability);
+    }
+    if let Some(id) = instance.fact_id(fact.relation(), fact.arguments()) {
+        return Err(UpdateError::DuplicateFact(id));
+    }
+    if let Some(plan) = plan {
+        let elements = fact.elements();
+        for &e in &elements {
+            if !plan.contains_element(e) {
+                return Err(UpdateError::NewElement(e));
+            }
+        }
+        if !plan.covers(&elements) {
+            return Err(UpdateError::UncoveredFact);
+        }
+    }
+    Ok(())
+}
+
+/// Validates a fact retraction. `pinned_domain` adds the orphan check (the
+/// session's mode: every element of the fact must survive in another fact,
+/// or the pinned active domain would shrink); callers re-deriving their
+/// decomposition per evaluation may pass `false` and shrink freely.
+pub fn validate_retract(
+    instance: &Instance,
+    fact: FactId,
+    pinned_domain: bool,
+) -> Result<(), UpdateError> {
+    if fact.0 >= instance.fact_count() {
+        return Err(UpdateError::UnknownFact(fact));
+    }
+    if pinned_domain {
+        for e in instance.fact(fact).elements() {
+            let survives = instance
+                .facts()
+                .any(|(id, f)| id != fact && f.elements().contains(&e));
+            if !survives {
+                return Err(UpdateError::OrphanedElement(e));
+            }
+        }
+    }
+    Ok(())
+}
 
 /// A probability request: evaluate `query` on `instance` under independent
 /// per-fact probabilities.
@@ -417,6 +611,22 @@ pub struct SessionStats {
     /// result. Previously panicked requests were silently counted as served;
     /// `requests == errors + successes` now holds per batch.
     pub errors: usize,
+    /// Fact insertions applied ([`EvalSession::insert_fact`]; rejected
+    /// updates don't count).
+    pub updates_insert: usize,
+    /// Fact retractions applied ([`EvalSession::retract_fact`]).
+    pub updates_retract: usize,
+    /// Probability overrides applied ([`EvalSession::set_probability`];
+    /// zero-dirty no-ops don't count).
+    pub updates_set_probability: usize,
+    /// Fragments recompiled by lineage compiles that consulted a retained
+    /// fragment library — the update path's dirty set, summed.
+    pub fragments_recompiled: usize,
+    /// Fragments replayed byte-identically from a retained library instead
+    /// of being recompiled.
+    pub fragments_reused: usize,
+    /// Resident lineage artifacts invalidated by structural updates.
+    pub lineages_invalidated: usize,
 }
 
 /// Artifact sizes collected while serving an [`EvalSession::explain`]
@@ -443,6 +653,12 @@ struct Counters {
     monte_carlo_fallbacks: AtomicUsize,
     worker_panics: AtomicUsize,
     errors: AtomicUsize,
+    updates_insert: AtomicUsize,
+    updates_retract: AtomicUsize,
+    updates_set_probability: AtomicUsize,
+    fragments_recompiled: AtomicUsize,
+    fragments_reused: AtomicUsize,
+    lineages_invalidated: AtomicUsize,
 }
 
 /// A capacity-capped map with true LRU eviction: every hit refreshes the
@@ -498,6 +714,20 @@ impl<K: Ord + Clone, V: Clone> CacheMap<K, V> {
         }
     }
 
+    /// Removes and returns every entry whose key matches `pred` (the
+    /// structural-invalidation path: evict all lineages of one instance,
+    /// handing their fragment libraries to the stale set for incremental
+    /// recompilation).
+    fn take_matching(&mut self, pred: impl Fn(&K) -> bool) -> Vec<(K, V)> {
+        let keys: Vec<K> = self.map.keys().filter(|k| pred(k)).cloned().collect();
+        keys.into_iter()
+            .map(|k| {
+                let (value, _) = self.map.remove(&k).expect("key just enumerated");
+                (k, value)
+            })
+            .collect()
+    }
+
     fn len(&self) -> usize {
         self.map.len()
     }
@@ -541,6 +771,32 @@ struct InstanceEntry {
     decomposition: TreeDecomposition,
     encoding: Mutex<Option<Arc<TreeEncoding>>>,
     dd: Mutex<Option<DdShard>>,
+    /// The session-resident valuation (1/2 per fact at registration),
+    /// mutated by [`EvalSession::set_probability`] and kept aligned with the
+    /// fact set by insert/retract. Requests still carry their own
+    /// valuations; this one is the mutable baseline update-aware callers
+    /// read back through [`EvalSession::valuation`].
+    valuation: ProbabilityValuation,
+    /// Update epoch: 0 at registration, +1 per applied non-no-op update.
+    epoch: u64,
+    /// The encoding plan update validation checks domain/coverage against,
+    /// built lazily at the first structural update. Valid across every
+    /// accepted update, because accepted updates preserve the active domain
+    /// the plan is pinned to.
+    plan: Option<Arc<EncodingPlan>>,
+}
+
+/// One resident lineage-cache entry: the artifact plus what incremental
+/// recompilation needs — the per-fragment compile library, and the identity
+/// of the machine that numbered its gates. Gate ids depend on the machine's
+/// memo discovery order, so a library may only be replayed against the
+/// *same* machine object; the `Weak` keeps the allocation alive so the
+/// pointer comparison cannot be fooled by an ABA reuse.
+#[derive(Clone)]
+struct CachedLineage {
+    artifact: Arc<ParallelDnnf>,
+    machine: Weak<Mutex<CompiledQuery>>,
+    library: Arc<FragmentLibrary>,
 }
 
 /// A long-lived, batch-oriented evaluation session. See the module docs
@@ -559,7 +815,12 @@ pub struct EvalSession {
     /// automaton grows its state memo (`&mut`).
     machines: Mutex<MachineCache>,
     /// Compiled lineages, keyed by (query, instance).
-    lineages: Mutex<CacheMap<(usize, usize), Arc<ParallelDnnf>>>,
+    lineages: Mutex<CacheMap<(usize, usize), CachedLineage>>,
+    /// Fragment libraries parked by structural invalidation, keyed by the
+    /// (query, instance) pair they served. Consumed (one-shot) by the next
+    /// lineage miss on the pair: untouched fragments replay byte-identically
+    /// and only the dirty ones recompile.
+    stale: Mutex<BTreeMap<(usize, usize), CachedLineage>>,
     counters: Counters,
     /// Flight recorder: the N slowest requests past the latency threshold,
     /// sorted slowest-first (see [`EngineConfig::flight_recorder_capacity`]).
@@ -587,6 +848,7 @@ impl EvalSession {
         EvalSession {
             machines: Mutex::new(CacheMap::new(config.query_cache_cap)),
             lineages: Mutex::new(CacheMap::new(config.lineage_cache_cap)),
+            stale: Mutex::new(BTreeMap::new()),
             config,
             backend,
             instances: Vec::new(),
@@ -633,11 +895,15 @@ impl EvalSession {
         instance: Instance,
         decomposition: TreeDecomposition,
     ) -> InstanceId {
+        let valuation = ProbabilityValuation::all_one_half(&instance);
         self.instances.push(InstanceEntry {
             instance,
             decomposition,
             encoding: Mutex::new(None),
             dd: Mutex::new(None),
+            valuation,
+            epoch: 0,
+            plan: None,
         });
         InstanceId(self.instances.len() - 1)
     }
@@ -657,6 +923,222 @@ impl EvalSession {
         QueryId(self.queries.len() - 1)
     }
 
+    /// The session's resident valuation for an instance: probability 1/2
+    /// per fact at registration, overridden by
+    /// [`EvalSession::set_probability`] and kept aligned with the fact set
+    /// by insert/retract. Always covers exactly the instance's facts.
+    pub fn valuation(&self, id: InstanceId) -> &ProbabilityValuation {
+        &self.instances[id.0].valuation
+    }
+
+    /// The instance's update epoch: 0 at registration, +1 per applied
+    /// non-no-op update. Callers snapshotting derived state across updates
+    /// can fold it into their keys.
+    pub fn instance_epoch(&self, id: InstanceId) -> u64 {
+        self.instances[id.0].epoch
+    }
+
+    /// Inserts a fact with the given probability. Structural: the
+    /// instance's tree encoding, dd shard and resident lineages are
+    /// invalidated, but each invalidated lineage's fragment library is
+    /// retained — the next compile of the pair re-encodes, replays every
+    /// fragment whose subtree is untouched byte-identically, and recompiles
+    /// only the dirty ones (pinned against a cold compile by
+    /// `tests/update_differential.rs`).
+    ///
+    /// The fact must stay inside the pinned active domain and be covered by
+    /// a bag of the registered decomposition; see [`UpdateError`] for the
+    /// typed rejections. The new fact takes the next dense id (insertion
+    /// never renumbers existing facts).
+    pub fn insert_fact(
+        &mut self,
+        instance: InstanceId,
+        fact: Fact,
+        probability: Rational,
+    ) -> Result<UpdateReport, UpdateError> {
+        let i = self.check_instance(instance)?;
+        let plan = self.plan(i)?;
+        validate_insert(
+            &self.instances[i].instance,
+            Some(plan.as_ref()),
+            &fact,
+            &probability,
+        )?;
+        let span = self.update_span(UpdateKind::Insert, i);
+        let entry = &mut self.instances[i];
+        let id = entry
+            .instance
+            .add_fact(fact.relation(), fact.arguments().to_vec());
+        entry.valuation.push(probability);
+        entry.epoch += 1;
+        let epoch = entry.epoch;
+        let invalidated = self.invalidate_structural(i);
+        self.counters.updates_insert.fetch_add(1, Ordering::Relaxed);
+        self.record_update(UpdateKind::Insert, invalidated, span);
+        Ok(UpdateReport {
+            kind: UpdateKind::Insert,
+            fact: id,
+            moved: None,
+            structural: true,
+            no_op: false,
+            epoch,
+            invalidated_lineages: invalidated,
+        })
+    }
+
+    /// Retracts a fact by id, with swap-remove semantics: the last fact
+    /// (and only it) moves into the vacated id, reported as
+    /// [`UpdateReport::moved`]. Structural — same invalidation and
+    /// fragment-retention behaviour as [`EvalSession::insert_fact`].
+    ///
+    /// Retracting an absent fact is [`UpdateError::UnknownFact`]; a
+    /// retraction that would orphan an element (shrinking the pinned
+    /// domain) is [`UpdateError::OrphanedElement`].
+    pub fn retract_fact(
+        &mut self,
+        instance: InstanceId,
+        fact: FactId,
+    ) -> Result<UpdateReport, UpdateError> {
+        let i = self.check_instance(instance)?;
+        validate_retract(&self.instances[i].instance, fact, true)?;
+        let span = self.update_span(UpdateKind::Retract, i);
+        let entry = &mut self.instances[i];
+        let (_removed, moved) = entry.instance.remove_fact(fact);
+        entry.valuation.swap_remove(fact);
+        entry.epoch += 1;
+        let epoch = entry.epoch;
+        let invalidated = self.invalidate_structural(i);
+        self.counters
+            .updates_retract
+            .fetch_add(1, Ordering::Relaxed);
+        self.record_update(UpdateKind::Retract, invalidated, span);
+        Ok(UpdateReport {
+            kind: UpdateKind::Retract,
+            fact,
+            moved,
+            structural: true,
+            no_op: false,
+            epoch,
+            invalidated_lineages: invalidated,
+        })
+    }
+
+    /// Overrides one fact's probability in the session's resident
+    /// valuation. The cheap tier: the compiled gate stream is
+    /// probability-independent, so no encoding, machine, lineage or dd
+    /// state is invalidated — later evaluations simply read the new weight.
+    /// Overriding with the current value is an accepted zero-dirty no-op
+    /// (`no_op: true`, epoch untouched, nothing counted).
+    pub fn set_probability(
+        &mut self,
+        instance: InstanceId,
+        fact: FactId,
+        probability: Rational,
+    ) -> Result<UpdateReport, UpdateError> {
+        let i = self.check_instance(instance)?;
+        let entry = &mut self.instances[i];
+        if fact.0 >= entry.instance.fact_count() {
+            return Err(UpdateError::UnknownFact(fact));
+        }
+        if !probability.is_probability() {
+            return Err(UpdateError::InvalidProbability);
+        }
+        if *entry.valuation.probability(fact) == probability {
+            return Ok(UpdateReport {
+                kind: UpdateKind::SetProbability,
+                fact,
+                moved: None,
+                structural: false,
+                no_op: true,
+                epoch: entry.epoch,
+                invalidated_lineages: 0,
+            });
+        }
+        let span = self.update_span(UpdateKind::SetProbability, i);
+        let entry = &mut self.instances[i];
+        entry.valuation.set_probability(fact, probability);
+        entry.epoch += 1;
+        let epoch = entry.epoch;
+        self.counters
+            .updates_set_probability
+            .fetch_add(1, Ordering::Relaxed);
+        self.record_update(UpdateKind::SetProbability, 0, span);
+        Ok(UpdateReport {
+            kind: UpdateKind::SetProbability,
+            fact,
+            moved: None,
+            structural: false,
+            no_op: false,
+            epoch,
+            invalidated_lineages: 0,
+        })
+    }
+
+    /// Resolves an instance handle to its index, typed-rejecting handles
+    /// from another session.
+    fn check_instance(&self, id: InstanceId) -> Result<usize, UpdateError> {
+        if id.0 < self.instances.len() {
+            Ok(id.0)
+        } else {
+            Err(UpdateError::UnknownInstance(id.0))
+        }
+    }
+
+    /// The instance's encoding plan, built at the first structural update
+    /// and shared afterwards (accepted updates preserve the domain it is
+    /// pinned to).
+    fn plan(&mut self, i: usize) -> Result<Arc<EncodingPlan>, UpdateError> {
+        if let Some(plan) = &self.instances[i].plan {
+            return Ok(plan.clone());
+        }
+        let entry = &self.instances[i];
+        let plan = EncodingPlan::new_trusted(&entry.instance, &entry.decomposition)
+            .map_err(|e| UpdateError::Encoding(e.to_string()))?;
+        let arc = Arc::new(plan);
+        self.instances[i].plan = Some(arc.clone());
+        Ok(arc)
+    }
+
+    /// Opens the span of one applied update.
+    fn update_span(&self, kind: UpdateKind, instance: usize) -> Span {
+        let mut span = self.config.telemetry.span("update");
+        span.label("kind", kind.as_str());
+        span.label("instance", instance);
+        span
+    }
+
+    /// Closes an update's span and feeds the `updates_total{kind}` counter
+    /// and `dirty_lineages` label.
+    fn record_update(&self, kind: UpdateKind, invalidated: usize, mut span: Span) {
+        span.label("invalidated_lineages", invalidated);
+        drop(span);
+        self.config
+            .telemetry
+            .counter_add("updates_total", &[("kind", kind.as_str())], 1);
+    }
+
+    /// Invalidates every structural cache layer of one instance: the tree
+    /// encoding and dd shard are dropped, and the instance's resident
+    /// lineages move to the stale set, keeping their fragment libraries for
+    /// incremental recompilation. Returns how many lineages were evicted.
+    fn invalidate_structural(&self, i: usize) -> usize {
+        let entry = &self.instances[i];
+        *lock_recovering(&entry.encoding) = None;
+        *lock_recovering(&entry.dd) = None;
+        let harvested = lock_recovering(&self.lineages).take_matching(|&(_, inst)| inst == i);
+        let count = harvested.len();
+        if count > 0 {
+            let mut stale = lock_recovering(&self.stale);
+            for (key, lineage) in harvested {
+                stale.insert(key, lineage);
+            }
+            self.counters
+                .lineages_invalidated
+                .fetch_add(count, Ordering::Relaxed);
+        }
+        count
+    }
+
     /// Snapshot of the session's cache counters.
     pub fn stats(&self) -> SessionStats {
         SessionStats {
@@ -671,6 +1153,15 @@ impl EvalSession {
             monte_carlo_fallbacks: self.counters.monte_carlo_fallbacks.load(Ordering::Relaxed),
             worker_panics: self.counters.worker_panics.load(Ordering::Relaxed),
             errors: self.counters.errors.load(Ordering::Relaxed),
+            updates_insert: self.counters.updates_insert.load(Ordering::Relaxed),
+            updates_retract: self.counters.updates_retract.load(Ordering::Relaxed),
+            updates_set_probability: self
+                .counters
+                .updates_set_probability
+                .load(Ordering::Relaxed),
+            fragments_recompiled: self.counters.fragments_recompiled.load(Ordering::Relaxed),
+            fragments_reused: self.counters.fragments_reused.load(Ordering::Relaxed),
+            lineages_invalidated: self.counters.lineages_invalidated.load(Ordering::Relaxed),
         }
     }
 
@@ -747,8 +1238,24 @@ impl EvalSession {
             ),
             ("session_worker_panics_total", stats.worker_panics),
             ("session_errors_total", stats.errors),
+            (
+                "session_fragments_recompiled_total",
+                stats.fragments_recompiled,
+            ),
+            ("session_fragments_reused_total", stats.fragments_reused),
+            (
+                "session_lineages_invalidated_total",
+                stats.lineages_invalidated,
+            ),
         ] {
             snap.push_counter(name, &[], value as u64);
+        }
+        for (kind, value) in [
+            ("insert", stats.updates_insert),
+            ("retract", stats.updates_retract),
+            ("set_probability", stats.updates_set_probability),
+        ] {
+            snap.push_counter("session_updates_total", &[("kind", kind)], value as u64);
         }
         let occupancy = self.cache_occupancy();
         for (name, value) in [
@@ -1537,7 +2044,7 @@ impl EvalSession {
     ) -> Result<Arc<ParallelDnnf>, EngineError> {
         if let Some(hit) = lock_recovering(&self.lineages).get(&(query, instance)) {
             self.counters.lineage_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(hit);
+            return Ok(hit.artifact);
         }
         self.counters.lineage_misses.fetch_add(1, Ordering::Relaxed);
         let encoding = self.encoding(instance)?;
@@ -1545,16 +2052,107 @@ impl EvalSession {
         let automaton = lock_recovering(&machine)
             .automaton_for(encoding.tree())
             .map_err(EngineError::QueryCompile)?;
-        let compiled = crate::parallel::compile_with_pool(
+        // A structural update may have parked this pair's fragment library.
+        // Gate numbering depends on the machine's memo history, so the
+        // library replays only against the machine object that built it —
+        // anything else (an evicted-and-rebuilt machine) compiles cold.
+        let previous = lock_recovering(&self.stale)
+            .remove(&(query, instance))
+            .filter(|parked| Weak::as_ptr(&parked.machine) == Arc::as_ptr(&machine));
+        let compiled = compile_with_pool_cached(
             &automaton,
             encoding.tree(),
             &self.config,
             pool_threads,
+            previous.as_ref().map(|parked| parked.library.as_ref()),
         )
         .map_err(|e| EngineError::Provenance(e.to_string()))?;
-        let arc = Arc::new(compiled);
-        lock_recovering(&self.lineages).insert((query, instance), arc.clone());
+        if previous.is_some() {
+            let stats = compiled.stats;
+            self.counters
+                .fragments_recompiled
+                .fetch_add(stats.recompiled, Ordering::Relaxed);
+            self.counters
+                .fragments_reused
+                .fetch_add(stats.reused, Ordering::Relaxed);
+            let telemetry = &self.config.telemetry;
+            telemetry.gauge_set("dirty_fragments", &[], stats.recompiled as i64);
+            telemetry.counter_add("fragments_recompiled_total", &[], stats.recompiled as u64);
+        }
+        let arc = Arc::new(compiled.artifact);
+        lock_recovering(&self.lineages).insert(
+            (query, instance),
+            CachedLineage {
+                artifact: arc.clone(),
+                machine: Arc::downgrade(&machine),
+                library: Arc::new(compiled.library),
+            },
+        );
         Ok(arc)
+    }
+
+    /// The cached lineage d-SDNNF of a (query, instance) pair through the
+    /// session caches — the incremental path's artifact, for callers that
+    /// want the circuit itself (the update differential suite, benches)
+    /// rather than an answer. Compiles on miss like any request would.
+    pub fn lineage_artifact(
+        &self,
+        query: QueryId,
+        instance: InstanceId,
+    ) -> Result<Arc<ParallelDnnf>, EngineError> {
+        if query.0 >= self.queries.len() {
+            return Err(EngineError::InvalidRequest(format!(
+                "unknown query handle {} ({} registered)",
+                query.0,
+                self.queries.len()
+            )));
+        }
+        if instance.0 >= self.instances.len() {
+            return Err(EngineError::InvalidRequest(format!(
+                "unknown instance handle {} ({} registered)",
+                instance.0,
+                self.instances.len()
+            )));
+        }
+        self.lineage(query.0, instance.0, self.config.threads)
+    }
+
+    /// The byte-identity oracle behind the update differential suite (and
+    /// the cold comparator of the `update_throughput` bench): compiles the
+    /// pair's lineage from scratch — fresh tree encoding, every fragment
+    /// recompiled, no lineage-cache read or write — through the *same*
+    /// cached query machine the incremental path uses. Gate numbering
+    /// depends on the machine's memo history, so byte-identity of
+    /// incremental against cold is meaningful exactly when both run through
+    /// one machine; a fresh session would number states differently.
+    pub fn cold_lineage(
+        &self,
+        query: QueryId,
+        instance: InstanceId,
+    ) -> Result<ParallelDnnf, EngineError> {
+        if query.0 >= self.queries.len() || instance.0 >= self.instances.len() {
+            return Err(EngineError::InvalidRequest(
+                "unknown query or instance handle".to_string(),
+            ));
+        }
+        let entry = &self.instances[instance.0];
+        let encoding = treelineage_encoding::encode_traced(
+            &entry.instance,
+            &entry.decomposition,
+            &self.config.telemetry,
+        )
+        .map_err(EngineError::Encoding)?;
+        let machine = self.machine(query.0, encoding.alphabet().width())?;
+        let automaton = lock_recovering(&machine)
+            .automaton_for(encoding.tree())
+            .map_err(EngineError::QueryCompile)?;
+        crate::parallel::compile_with_pool(
+            &automaton,
+            encoding.tree(),
+            &self.config,
+            self.config.threads,
+        )
+        .map_err(|e| EngineError::Provenance(e.to_string()))
     }
 
     /// The instance's tree encoding, built on first use.
@@ -2187,5 +2785,287 @@ mod tests {
             SessionBackend::Automaton,
         );
         assert!(quiet.slow_requests().is_empty());
+    }
+
+    /// Asserts two compiled lineages are byte-identical: same gates at the
+    /// same ids with the same operands, same vtree, same universe.
+    fn assert_byte_identical(a: &ParallelDnnf, b: &ParallelDnnf) {
+        let (ac, bc) = (
+            a.structured().dnnf().circuit(),
+            b.structured().dnnf().circuit(),
+        );
+        assert_eq!(ac.size(), bc.size(), "gate counts differ");
+        for id in ac.gate_ids() {
+            assert_eq!(ac.gate(id), bc.gate(id), "gate {id:?} differs");
+        }
+        assert_eq!(ac.output(), bc.output());
+        let (av, bv) = (a.structured().vtree(), b.structured().vtree());
+        assert_eq!(av.node_count(), bv.node_count());
+        for i in 0..av.node_count() {
+            let id = treelineage_circuit::VtreeId(i);
+            assert_eq!(av.node(id), bv.node(id), "vtree node {i} differs");
+        }
+        assert_eq!(av.root(), bv.root());
+        assert_eq!(a.structured().universe(), b.structured().universe());
+    }
+
+    #[test]
+    fn updates_validate_with_typed_errors_and_track_epochs() {
+        let (mut session, _q, i) = session_with(SessionBackend::Automaton);
+        let sig = rst();
+        let r = sig.relation_by_name("R").unwrap();
+        let s = sig.relation_by_name("S").unwrap();
+        let t = sig.relation_by_name("T").unwrap();
+        let half = Rational::one_half();
+
+        // Rejections leave the session untouched: epoch 0, counters 0.
+        assert_eq!(
+            session.insert_fact(i, Fact::new(r, vec![Element(0)]), half.clone()),
+            Err(UpdateError::DuplicateFact(FactId(0)))
+        );
+        assert_eq!(
+            session.insert_fact(i, Fact::new(r, vec![Element(9)]), half.clone()),
+            Err(UpdateError::NewElement(Element(9)))
+        );
+        assert_eq!(
+            session.insert_fact(i, Fact::new(s, vec![Element(0), Element(4)]), half.clone()),
+            Err(UpdateError::UncoveredFact)
+        );
+        assert_eq!(
+            session.insert_fact(i, Fact::new(r, vec![Element(0), Element(1)]), half.clone()),
+            Err(UpdateError::ArityMismatch {
+                expected: 1,
+                got: 2
+            })
+        );
+        assert_eq!(
+            session.insert_fact(
+                i,
+                Fact::new(t, vec![Element(0)]),
+                Rational::from_ratio_u64(3, 2)
+            ),
+            Err(UpdateError::InvalidProbability)
+        );
+        assert_eq!(
+            session.retract_fact(i, FactId(99)),
+            Err(UpdateError::UnknownFact(FactId(99)))
+        );
+        assert_eq!(
+            session.insert_fact(InstanceId(5), Fact::new(t, vec![Element(0)]), half.clone()),
+            Err(UpdateError::UnknownInstance(5))
+        );
+        assert_eq!(session.instance_epoch(i), 0);
+        let stats = session.stats();
+        assert_eq!(stats.updates_insert, 0);
+        assert_eq!(stats.updates_retract, 0);
+        assert_eq!(stats.updates_set_probability, 0);
+
+        // Overriding with the current value is a zero-dirty no-op.
+        let noop = session.set_probability(i, FactId(0), half.clone()).unwrap();
+        assert!(noop.no_op && !noop.structural);
+        assert_eq!(noop.epoch, 0);
+        assert_eq!(session.stats().updates_set_probability, 0);
+
+        // An actual override bumps the epoch without structural effects.
+        let third = Rational::from_ratio_u64(1, 3);
+        let set = session
+            .set_probability(i, FactId(0), third.clone())
+            .unwrap();
+        assert!(!set.no_op && !set.structural);
+        assert_eq!(set.epoch, 1);
+        assert_eq!(*session.valuation(i).probability(FactId(0)), third);
+
+        // chain(4) ends with T(4) at id 11 (the dense tail): retracting it
+        // moves nothing; afterwards S(3, 4) is element 4's only home.
+        let retract = session.retract_fact(i, FactId(11)).unwrap();
+        assert_eq!(retract.kind, UpdateKind::Retract);
+        assert!(retract.structural && retract.moved.is_none());
+        assert_eq!(retract.epoch, 2);
+        assert_eq!(
+            session.retract_fact(i, FactId(10)),
+            Err(UpdateError::OrphanedElement(Element(4)))
+        );
+
+        // T(0) is absent, in-domain, and (being unary) always covered.
+        let insert = session
+            .insert_fact(
+                i,
+                Fact::new(t, vec![Element(0)]),
+                Rational::from_ratio_u64(1, 4),
+            )
+            .unwrap();
+        assert_eq!(insert.fact, FactId(11));
+        assert!(insert.structural && insert.moved.is_none());
+        assert_eq!(insert.epoch, 3);
+        assert_eq!(session.instance(i).fact_count(), 12);
+        assert_eq!(session.valuation(i).len(), 12);
+        assert_eq!(
+            *session.valuation(i).probability(FactId(11)),
+            Rational::from_ratio_u64(1, 4)
+        );
+        let stats = session.stats();
+        assert_eq!(stats.updates_insert, 1);
+        assert_eq!(stats.updates_retract, 1);
+        assert_eq!(stats.updates_set_probability, 1);
+
+        // A retraction of a middle fact renumbers exactly the last fact.
+        let moved = session.retract_fact(i, FactId(3)).unwrap();
+        assert_eq!(moved.moved, Some(FactId(11)));
+        assert_eq!(session.instance(i).fact_count(), 11);
+        assert_eq!(session.valuation(i).len(), 11);
+        // The moved fact (T(0), probability 1/4) now lives at the hole.
+        assert_eq!(
+            *session.valuation(i).probability(FactId(3)),
+            Rational::from_ratio_u64(1, 4)
+        );
+    }
+
+    #[test]
+    fn structural_updates_flip_residency_and_recompile_incrementally() {
+        let config = EngineConfig {
+            telemetry: treelineage_telemetry::Telemetry::enabled(),
+            fragment_grain: 4,
+            ..EngineConfig::with_threads(2)
+        };
+        let mut session = EvalSession::with_backend(config, SessionBackend::Automaton);
+        let q = session.register_query(parse_query(&rst(), "R(x), S(x, y), T(y)").unwrap());
+        let i = session.register_instance(chain(6));
+        let request = |session: &EvalSession| ProbabilityRequest {
+            query: q,
+            instance: i,
+            valuation: session.valuation(i).clone(),
+        };
+
+        // Warm every layer, then pin the warm residency report.
+        let before = session.batch_probability(&[request(&session)])[0]
+            .clone()
+            .unwrap();
+        let warm = session.explain(&request(&session)).unwrap();
+        assert!(warm.encoding_cached && warm.machine_cached && warm.lineage_cached);
+        let occupancy = session.cache_occupancy();
+        assert_eq!(occupancy.encodings, 1);
+        assert_eq!(occupancy.lineage_entries, 1);
+        let total_fragments = session
+            .lineage_artifact(q, i)
+            .unwrap()
+            .partition()
+            .fragments()
+            .len();
+        assert!(
+            total_fragments >= 2,
+            "grain 4 over chain(6) should partition, got {total_fragments}"
+        );
+
+        // A structural update invalidates the encoding and lineage layers
+        // (the regression this test pins: the explain report and occupancy
+        // gauges must reflect post-update invalidation, not stale caches).
+        // Retracting R(0) removes the i = 0 match, so the answer must move.
+        let report = session.retract_fact(i, FactId(0)).unwrap();
+        assert_eq!(report.invalidated_lineages, 1);
+        let occupancy = session.cache_occupancy();
+        assert_eq!(occupancy.encodings, 0, "encoding must drop on update");
+        assert_eq!(occupancy.lineage_entries, 0, "lineage must drop on update");
+        let cold = session.explain(&request(&session)).unwrap();
+        assert!(!cold.encoding_cached && !cold.lineage_cached);
+        assert_ne!(cold.estimate, before.to_f64(), "the answer must move");
+
+        // The explain above recompiled through the parked fragment library:
+        // strictly fewer fragments than a cold compile (which recompiles
+        // all of them), with real reuse.
+        let stats = session.stats();
+        assert_eq!(stats.lineages_invalidated, 1);
+        let incremental = session.lineage_artifact(q, i).unwrap();
+        let new_total = incremental.partition().fragments().len();
+        assert!(stats.fragments_reused > 0, "no fragments reused");
+        assert_eq!(
+            stats.fragments_recompiled + stats.fragments_reused,
+            new_total
+        );
+        assert!(
+            stats.fragments_recompiled < new_total,
+            "update recompiled {} of {} fragments — not incremental",
+            stats.fragments_recompiled,
+            new_total
+        );
+
+        // And the incremental artifact is byte-identical to a cold compile
+        // of the mutated instance through the same machine.
+        let cold_artifact = session.cold_lineage(q, i).unwrap();
+        assert_byte_identical(&incremental, &cold_artifact);
+
+        // The update surfaced in the metrics: covered counter series.
+        let rendered = session.metrics().to_prometheus();
+        assert!(rendered.contains("session_updates_total"), "{rendered}");
+        assert!(
+            rendered.contains("session_fragments_recompiled_total"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("updates_total"), "{rendered}");
+        assert!(rendered.contains("dirty_fragments"), "{rendered}");
+    }
+
+    #[test]
+    fn set_probability_keeps_every_cache_layer_resident() {
+        let (mut session, q, i) = session_with(SessionBackend::Automaton);
+        let first = session.batch_probability(&[ProbabilityRequest {
+            query: q,
+            instance: i,
+            valuation: session.valuation(i).clone(),
+        }])[0]
+            .clone()
+            .unwrap();
+        let misses = session.stats().lineage_misses;
+        // The cheap tier: only the resident valuation moves.
+        session
+            .set_probability(i, FactId(0), Rational::from_ratio_u64(1, 5))
+            .unwrap();
+        let occupancy = session.cache_occupancy();
+        assert_eq!(occupancy.encodings, 1);
+        assert_eq!(occupancy.lineage_entries, 1);
+        let second = session.batch_probability(&[ProbabilityRequest {
+            query: q,
+            instance: i,
+            valuation: session.valuation(i).clone(),
+        }])[0]
+            .clone()
+            .unwrap();
+        assert_eq!(session.stats().lineage_misses, misses, "must hit the cache");
+        assert_ne!(first, second, "the reweighted answer must move");
+    }
+
+    #[test]
+    fn updates_invalidate_dd_shards_too() {
+        let (mut session, q, i) = session_with(SessionBackend::SharedDd);
+        let valuation = session.valuation(i).clone();
+        let first = session.batch_probability(&[ProbabilityRequest {
+            query: q,
+            instance: i,
+            valuation,
+        }])[0]
+            .clone()
+            .unwrap();
+        assert_eq!(session.cache_occupancy().dd_shards, 1);
+        // Retracting R(0) removes a match, so the answer must move.
+        session.retract_fact(i, FactId(0)).unwrap();
+        assert_eq!(session.cache_occupancy().dd_shards, 0, "shard must drop");
+        let second = session.batch_probability(&[ProbabilityRequest {
+            query: q,
+            instance: i,
+            valuation: session.valuation(i).clone(),
+        }])[0]
+            .clone()
+            .unwrap();
+        assert_ne!(first, second);
+        // Cross-check against the automaton backend on the same updates.
+        let (mut auto, q2, i2) = session_with(SessionBackend::Automaton);
+        auto.retract_fact(i2, FactId(0)).unwrap();
+        let expected = auto.batch_probability(&[ProbabilityRequest {
+            query: q2,
+            instance: i2,
+            valuation: auto.valuation(i2).clone(),
+        }])[0]
+            .clone()
+            .unwrap();
+        assert_eq!(second, expected);
     }
 }

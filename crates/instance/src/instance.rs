@@ -16,9 +16,10 @@ use treelineage_graph::{Graph, TreeDecomposition, Vertex};
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Element(pub u64);
 
-/// Identifier of a fact within an [`Instance`] (a dense index, stable across
-/// the instance's lifetime; facts are never removed, subinstances are
-/// expressed as fact-id subsets).
+/// Identifier of a fact within an [`Instance`] (a dense index; subinstances
+/// are expressed as fact-id subsets). Ids are stable under insertion; the only
+/// operation that renumbers is [`Instance::remove_fact`], which swap-removes:
+/// the last fact (and only it) moves into the vacated id.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct FactId(pub usize);
 
@@ -102,6 +103,24 @@ impl Instance {
         self.index.insert(fact.clone(), id);
         self.facts.push(fact);
         id
+    }
+
+    /// Removes the fact with the given id and returns it, with swap-remove
+    /// semantics: the last fact moves into the vacated id, so only that one
+    /// fact is renumbered and every other id stays stable. Returns the fact
+    /// id the previously-last fact moved *from* (it now lives at `id`), or
+    /// `None` when the removed fact was itself last. Panics if `id` is out of
+    /// range.
+    pub fn remove_fact(&mut self, id: FactId) -> (Fact, Option<FactId>) {
+        assert!(id.0 < self.facts.len(), "fact id out of range");
+        let removed = self.facts.swap_remove(id.0);
+        self.index.remove(&removed);
+        if id.0 < self.facts.len() {
+            self.index.insert(self.facts[id.0].clone(), id);
+            (removed, Some(FactId(self.facts.len())))
+        } else {
+            (removed, None)
+        }
     }
 
     /// Convenience: adds a fact by relation name.
@@ -366,6 +385,37 @@ mod tests {
             .relation("S", 2)
             .relation("T", 1)
             .build()
+    }
+
+    #[test]
+    fn remove_fact_swaps_the_last_fact_into_the_hole() {
+        let sig = rst_signature();
+        let mut inst = Instance::new(sig.clone());
+        let r = inst.add_fact_by_name("R", &[1]);
+        let s = inst.add_fact_by_name("S", &[1, 2]);
+        let t = inst.add_fact_by_name("T", &[2]);
+
+        // Removing a middle fact moves the last fact into its slot.
+        let (removed, moved) = inst.remove_fact(s);
+        assert_eq!(removed.arguments(), &[Element(1), Element(2)]);
+        assert_eq!(moved, Some(t));
+        assert_eq!(inst.fact_count(), 2);
+        assert!(!inst.contains(removed.relation(), removed.arguments()));
+        // The moved fact is findable at its new id, the untouched one stays.
+        let t_rel = sig.relation_by_name("T").unwrap();
+        assert_eq!(inst.fact_id(t_rel, &[Element(2)]), Some(s));
+        let r_rel = sig.relation_by_name("R").unwrap();
+        assert_eq!(inst.fact_id(r_rel, &[Element(1)]), Some(r));
+
+        // Removing the last fact moves nothing.
+        let (removed, moved) = inst.remove_fact(FactId(1));
+        assert_eq!(removed.arguments(), &[Element(2)]);
+        assert_eq!(moved, None);
+        assert_eq!(inst.fact_count(), 1);
+
+        // Re-inserting a removed fact reuses the dense tail slot.
+        let id = inst.add_fact(t_rel, vec![Element(2)]);
+        assert_eq!(id, FactId(1));
     }
 
     #[test]

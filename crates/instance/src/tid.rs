@@ -86,6 +86,20 @@ impl ProbabilityValuation {
         self.probabilities[fact.0] = p;
     }
 
+    /// Appends a probability for a newly inserted fact (mirrors
+    /// [`Instance::add_fact`], which always appends at the dense tail).
+    pub fn push(&mut self, p: Rational) {
+        assert!(p.is_probability(), "probability out of [0, 1]");
+        self.probabilities.push(p);
+    }
+
+    /// Removes the probability of one fact with swap-remove semantics,
+    /// mirroring [`Instance::remove_fact`]: the last entry moves into the
+    /// vacated slot. Returns the removed probability.
+    pub fn swap_remove(&mut self, fact: FactId) -> Rational {
+        self.probabilities.swap_remove(fact.0)
+    }
+
     /// The probability of a specific possible world, given as the set of
     /// present facts: the product of `p(F)` for present facts and `1 - p(F)`
     /// for absent ones (Definition 3.1).
